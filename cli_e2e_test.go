@@ -1,0 +1,101 @@
+package pmpr
+
+// End-to-end tests of the command-line tools: generate a dataset with
+// pmgen, analyze it with pmrank (exporting the rank series), and run a
+// quick harness experiment with pmbench. These build and execute the
+// real binaries via `go run`.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pmpr/internal/results"
+)
+
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	ev := filepath.Join(tmp, "enron.ev")
+	pmrs := filepath.Join(tmp, "ranks.pmrs")
+
+	out := runTool(t, "./cmd/pmgen", "-dataset", "enron", "-scale", "0.02", "-seed", "3", "-o", ev, "-format", "binary")
+	if _, err := os.Stat(ev); err != nil {
+		t.Fatalf("pmgen produced no file: %v (output: %s)", err, out)
+	}
+
+	out = runTool(t, "./cmd/pmrank", "-in", ev, "-delta-days", "365", "-slide", "172800",
+		"-max-windows", "12", "-top", "2", "-out", pmrs)
+	if !strings.Contains(out, "postmortem: 12 windows") {
+		t.Fatalf("unexpected pmrank output:\n%s", out)
+	}
+
+	f, err := os.Open(pmrs)
+	if err != nil {
+		t.Fatalf("open exported series: %v", err)
+	}
+	defer f.Close()
+	series, err := results.Read(f)
+	if err != nil {
+		t.Fatalf("read exported series: %v", err)
+	}
+	if series.Spec.Count != 12 || len(series.Windows) != 12 {
+		t.Fatalf("exported series has %d windows, want 12", len(series.Windows))
+	}
+	for w, wr := range series.Windows {
+		var sum float64
+		for _, r := range wr.Ranks {
+			sum += r
+		}
+		if len(wr.Ranks) > 0 && (sum < 0.999 || sum > 1.001) {
+			t.Fatalf("window %d ranks sum to %v", w, sum)
+		}
+	}
+
+	// The other models run on the same file.
+	for _, model := range []string{"streaming", "offline", "components", "kcore", "closeness"} {
+		out := runTool(t, "./cmd/pmrank", "-in", ev, "-delta-days", "365", "-slide", "172800",
+			"-max-windows", "6", "-model", model)
+		if !strings.Contains(out, "6 windows") {
+			t.Fatalf("%s: unexpected output:\n%s", model, out)
+		}
+	}
+
+	// A quick harness experiment prints its table.
+	out = runTool(t, "./cmd/pmbench", "-exp", "table1", "-quick", "-scale", "0.02")
+	if !strings.Contains(out, "enron") || !strings.Contains(out, "wikitalk") {
+		t.Fatalf("pmbench table1 output incomplete:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e skipped in -short mode")
+	}
+	cases := [][]string{
+		{"./cmd/pmgen", "-dataset", "nope"},
+		{"./cmd/pmrank", "-in", "/does/not/exist"},
+		{"./cmd/pmbench", "-exp", "nope"},
+	}
+	for _, args := range cases {
+		cmd := exec.Command("go", append([]string{"run"}, args...)...)
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Errorf("%v unexpectedly succeeded:\n%s", args, out)
+		}
+	}
+}

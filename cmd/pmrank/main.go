@@ -1,0 +1,292 @@
+// Command pmrank runs a postmortem PageRank analysis over a temporal
+// event file: it derives the sliding-window sequence, computes PageRank
+// for every window with the configured kernel/parallelism, and prints a
+// per-window summary plus the top-k vertices of selected windows.
+//
+// Usage:
+//
+//	pmrank -in events.ev -delta-days 90 -slide 86400 \
+//	       [-kernel spmm|spmv] [-mode nested|app|window] [-mw 6] [-grain 2] \
+//	       [-partitioner auto|simple|static] [-no-partial] [-directed] \
+//	       [-top 5] [-every 10] [-workers 0] [-out ranks.pmrs]
+//	       [-model postmortem|offline|streaming|components|kcore]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pmpr/internal/closeness"
+	"pmpr/internal/core"
+	"pmpr/internal/events"
+	"pmpr/internal/gen"
+	"pmpr/internal/kcore"
+	"pmpr/internal/offline"
+	"pmpr/internal/results"
+	"pmpr/internal/sched"
+	"pmpr/internal/streaming"
+	"pmpr/internal/wcc"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input event file (text or binary; '-' = stdin)")
+		deltaDays = flag.Float64("delta-days", 90, "window size delta in days")
+		slide     = flag.Int64("slide", 86400, "sliding offset sw in seconds")
+		maxWin    = flag.Int("max-windows", 0, "cap the number of windows (0 = all)")
+		kernel    = flag.String("kernel", "spmm", "kernel: spmm, spmv or spmv-blocked")
+		mode      = flag.String("mode", "nested", "parallelism: nested, app or window")
+		part      = flag.String("partitioner", "auto", "partitioner: auto, simple or static")
+		mw        = flag.Int("mw", 6, "number of multi-window graphs")
+		veclen    = flag.Int("veclen", 8, "SpMM vector length")
+		grain     = flag.Int("grain", 2, "scheduler grain size")
+		noPartial = flag.Bool("no-partial", false, "disable partial initialization")
+		directed  = flag.Bool("directed", false, "treat events as directed (default: symmetrize)")
+		top       = flag.Int("top", 5, "top-k vertices to print per reported window")
+		every     = flag.Int("every", 0, "report every n-th window (0 = auto)")
+		workers   = flag.Int("workers", 0, "pool size (0 = GOMAXPROCS)")
+		model     = flag.String("model", "postmortem", "analysis: postmortem, offline, streaming, components, kcore or closeness")
+		out       = flag.String("out", "", "write the rank series to this file (postmortem model only)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "pmrank: -in is required")
+		os.Exit(2)
+	}
+
+	l, err := readLog(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if !*directed {
+		l = l.Symmetrize()
+	}
+	spec, err := events.Span(l, int64(*deltaDays*float64(gen.Day)), *slide)
+	if err != nil {
+		fatal(err)
+	}
+	if *maxWin > 0 && spec.Count > *maxWin {
+		spec.Count = *maxWin
+	}
+	fmt.Printf("%d events over %d vertices; %d windows (delta=%.4gd, sw=%ds)\n",
+		l.Len(), l.NumVertices(), spec.Count, *deltaDays, *slide)
+
+	pool := sched.NewPool(*workers)
+	defer pool.Close()
+	step := *every
+	if step == 0 {
+		step = spec.Count / 10
+		if step < 1 {
+			step = 1
+		}
+	}
+
+	start := time.Now()
+	switch *model {
+	case "postmortem":
+		cfg := core.DefaultConfig()
+		cfg.Kernel = parseKernel(*kernel)
+		cfg.Mode = parseMode(*mode)
+		cfg.Partitioner = parsePartitioner(*part)
+		cfg.NumMultiWindows = *mw
+		cfg.VectorLen = *veclen
+		cfg.Grain = *grain
+		cfg.PartialInit = !*noPartial
+		cfg.Directed = *directed
+		eng, err := core.NewEngine(l, spec, cfg, pool)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := eng.Run()
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		for w := 0; w < s.Len(); w += step {
+			r := s.Window(w)
+			fmt.Printf("window %4d [%d..%d]: |V|=%d iters=%d top%d=",
+				w, spec.Start(w), spec.End(w), r.ActiveVertices, r.Iterations, *top)
+			for _, rk := range r.TopK(*top) {
+				fmt.Printf(" %d:%.4f", rk.Vertex, rk.Rank)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("postmortem: %d windows, %d total iterations, %.3fs (stored events %d, memory %.1f MB)\n",
+			s.Len(), s.TotalIterations(), elapsed.Seconds(),
+			eng.Temporal().TotalStoredEvents(), float64(eng.Temporal().MemoryBytes())/(1<<20))
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			if err := results.Write(f, s.Export()); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("rank series written to %s\n", *out)
+		}
+	case "offline":
+		cfg := offline.DefaultConfig()
+		stats, err := offline.Run(l, spec, cfg, pool)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		total := 0
+		for _, st := range stats {
+			total += st.Iterations
+		}
+		fmt.Printf("offline: %d windows, %d total iterations, %.3fs\n", len(stats), total, elapsed.Seconds())
+	case "streaming":
+		cfg := streaming.DefaultConfig()
+		cfg.Directed = *directed
+		r, err := streaming.NewRunner(l, spec, cfg, pool)
+		if err != nil {
+			fatal(err)
+		}
+		stats, err := r.Run()
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		total, ins, rem := 0, 0, 0
+		for _, st := range stats {
+			total += st.Iterations
+			ins += st.Inserted
+			rem += st.Removed
+		}
+		fmt.Printf("streaming: %d windows, %d total iterations, %d inserts, %d removes, %.3fs\n",
+			len(stats), total, ins, rem, elapsed.Seconds())
+	case "components":
+		cfg := wcc.DefaultConfig()
+		cfg.Partitioner = parsePartitioner(*part)
+		cfg.Grain = *grain
+		cfg.NumMultiWindows = *mw
+		cfg.Directed = *directed
+		eng, err := wcc.NewEngine(l, spec, cfg, pool)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := eng.Run()
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		for w := 0; w < s.Len(); w += step {
+			r := s.Window(w)
+			fmt.Printf("window %4d: |V|=%d components=%d largest=%d\n",
+				w, r.ActiveVertices, r.Components, r.LargestSize)
+		}
+		fmt.Printf("components: %d windows, %.3fs\n", s.Len(), elapsed.Seconds())
+	case "kcore":
+		cfg := kcore.DefaultConfig()
+		cfg.Partitioner = parsePartitioner(*part)
+		cfg.Grain = *grain
+		cfg.NumMultiWindows = *mw
+		cfg.Directed = *directed
+		eng, err := kcore.NewEngine(l, spec, cfg, pool)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := eng.Run()
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		for w := 0; w < s.Len(); w += step {
+			r := s.Window(w)
+			fmt.Printf("window %4d: |V|=%d maxcore=%d coresize=%d\n",
+				w, r.ActiveVertices, r.MaxCore, r.MaxCoreSize)
+		}
+		fmt.Printf("kcore: %d windows, %.3fs\n", s.Len(), elapsed.Seconds())
+	case "closeness":
+		cfg := closeness.DefaultConfig()
+		cfg.Partitioner = parsePartitioner(*part)
+		cfg.Grain = *grain
+		cfg.NumMultiWindows = *mw
+		cfg.Directed = *directed
+		cfg.SampleSources = 16
+		eng, err := closeness.NewEngine(l, spec, cfg, pool)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := eng.Run()
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		for w := 0; w < s.Len(); w += step {
+			r := s.Window(w)
+			fmt.Printf("window %4d: |V|=%d top=%d score=%.3f (from %d sources)\n",
+				w, r.ActiveVertices, r.Top, r.TopScore, r.SampledSources)
+		}
+		fmt.Printf("closeness: %d windows, %.3fs\n", s.Len(), elapsed.Seconds())
+	default:
+		fmt.Fprintf(os.Stderr, "pmrank: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+}
+
+func readLog(path string) (*events.Log, error) {
+	f := os.Stdin
+	if path != "-" {
+		var err error
+		f, err = os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+	}
+	// Sniff the magic to pick the decoder.
+	head := make([]byte, 4)
+	n, _ := f.Read(head)
+	if _, err := f.Seek(0, 0); err != nil && path == "-" {
+		return nil, fmt.Errorf("pmrank: stdin must be seekable; pipe to a file first")
+	}
+	if n == 4 && string(head) == "PMEV" {
+		return events.ReadBinary(f)
+	}
+	return events.ReadText(f)
+}
+
+func parseKernel(s string) core.Kernel {
+	switch s {
+	case "spmv":
+		return core.SpMV
+	case "spmv-blocked":
+		return core.SpMVBlocked
+	default:
+		return core.SpMM
+	}
+}
+
+func parseMode(s string) core.ParallelMode {
+	switch s {
+	case "app":
+		return core.AppLevel
+	case "window":
+		return core.WindowLevel
+	default:
+		return core.Nested
+	}
+}
+
+func parsePartitioner(s string) sched.Partitioner {
+	switch s {
+	case "simple":
+		return sched.Simple
+	case "static":
+		return sched.Static
+	default:
+		return sched.Auto
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pmrank: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module pmpr
+
+go 1.22

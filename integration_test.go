@@ -1,0 +1,163 @@
+package pmpr
+
+// End-to-end integration tests: the three execution models must agree
+// window-by-window on realistic synthetic datasets (the property the
+// paper engineers so its timing comparison is fair), and the postmortem
+// engine must be deterministic across runs of the same configuration.
+
+import (
+	"math"
+	"testing"
+
+	"pmpr/internal/analysis"
+	"pmpr/internal/core"
+	"pmpr/internal/events"
+	"pmpr/internal/gen"
+	"pmpr/internal/offline"
+	"pmpr/internal/sched"
+	"pmpr/internal/streaming"
+)
+
+func genLog(t *testing.T, name string, scale float64) *events.Log {
+	t.Helper()
+	d, ok := gen.Get(name)
+	if !ok {
+		t.Fatalf("unknown dataset %s", name)
+	}
+	l, err := d.Generate(scale, 5)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return l.Symmetrize()
+}
+
+func TestThreeModelsAgreeOnSyntheticData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short mode")
+	}
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	for _, name := range []string{"enron", "wikitalk"} {
+		l := genLog(t, name, 0.01)
+		first, last, _ := l.TimeRange()
+		spec, err := events.Span(l, (last-first)/10, (last-first)/40)
+		if err != nil {
+			t.Fatalf("Span: %v", err)
+		}
+		if spec.Count > 32 {
+			spec.Count = 32
+		}
+
+		offStats, err := offline.Run(l, spec, offline.DefaultConfig(), pool)
+		if err != nil {
+			t.Fatalf("offline: %v", err)
+		}
+		sr, err := streaming.NewRunner(l, spec, streaming.DefaultConfig(), pool)
+		if err != nil {
+			t.Fatalf("streaming: %v", err)
+		}
+		strStats, err := sr.Run()
+		if err != nil {
+			t.Fatalf("streaming run: %v", err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Directed = false
+		eng, err := core.NewEngine(l, spec, cfg, pool)
+		if err != nil {
+			t.Fatalf("postmortem: %v", err)
+		}
+		series, err := eng.Run()
+		if err != nil {
+			t.Fatalf("postmortem run: %v", err)
+		}
+
+		for w := 0; w < spec.Count; w++ {
+			post := series.Window(w).Dense(l.NumVertices())
+			if d := analysis.L1(post, offStats[w].Ranks); d > 1e-5 {
+				t.Fatalf("%s window %d: postmortem vs offline L1 = %v", name, w, d)
+			}
+			if d := analysis.L1(post, strStats[w].Ranks); d > 1e-5 {
+				t.Fatalf("%s window %d: postmortem vs streaming L1 = %v", name, w, d)
+			}
+		}
+	}
+}
+
+func TestPostmortemDeterministicSerial(t *testing.T) {
+	l := genLog(t, "hepth", 0.01)
+	first, last, _ := l.TimeRange()
+	spec, err := events.Span(l, (last-first)/8, (last-first)/24)
+	if err != nil {
+		t.Fatalf("Span: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Directed = false
+	run := func() *core.Series {
+		eng, err := core.NewEngine(l, spec, cfg, nil)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		s, err := eng.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	for w := 0; w < spec.Count; w++ {
+		da := a.Window(w).Dense(l.NumVertices())
+		db := b.Window(w).Dense(l.NumVertices())
+		for v := range da {
+			if da[v] != db[v] {
+				t.Fatalf("window %d vertex %d: %v != %v (serial runs must be bit-identical)",
+					w, v, da[v], db[v])
+			}
+		}
+		if a.Window(w).Iterations != b.Window(w).Iterations {
+			t.Fatalf("window %d: iteration counts differ", w)
+		}
+	}
+}
+
+func TestParallelCloseToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short mode")
+	}
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	l := genLog(t, "askubuntu", 0.02)
+	first, last, _ := l.TimeRange()
+	spec, err := events.Span(l, (last-first)/8, (last-first)/24)
+	if err != nil {
+		t.Fatalf("Span: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Directed = false
+	serialEng, err := core.NewEngine(l, spec, cfg, nil)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	serial, err := serialEng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	parEng, err := core.NewEngine(l, spec, cfg, pool)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	par, err := parEng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for w := 0; w < spec.Count; w++ {
+		ds := serial.Window(w).Dense(l.NumVertices())
+		dp := par.Window(w).Dense(l.NumVertices())
+		for v := range ds {
+			// Reduction order differs under parallel execution; results
+			// agree to the convergence tolerance.
+			if diff := math.Abs(ds[v] - dp[v]); diff > 1e-6 {
+				t.Fatalf("window %d vertex %d: serial %v vs parallel %v", w, v, ds[v], dp[v])
+			}
+		}
+	}
+}

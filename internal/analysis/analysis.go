@@ -1,0 +1,161 @@
+// Package analysis provides small utilities for inspecting temporal
+// graphs and comparing PageRank vectors: the edge-distribution
+// histogram behind the paper's Fig. 4, top-k extraction, and vector
+// distances/correlations used by the tests and examples.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"pmpr/internal/events"
+)
+
+// Histogram buckets the events of l into bins equal time slices and
+// returns the per-bin counts (the series plotted in Fig. 4), the bin
+// width, and the start time.
+func Histogram(l *events.Log, bins int) (counts []int64, width int64, t0 int64) {
+	counts = make([]int64, bins)
+	first, last, ok := l.TimeRange()
+	if !ok || bins == 0 {
+		return counts, 0, 0
+	}
+	span := last - first + 1
+	width = (span + int64(bins) - 1) / int64(bins)
+	if width < 1 {
+		width = 1
+	}
+	for _, e := range l.Events() {
+		b := (e.T - first) / width
+		if b >= int64(bins) {
+			b = int64(bins) - 1
+		}
+		counts[b]++
+	}
+	return counts, width, first
+}
+
+// L1 returns the L1 distance between two equally sized vectors.
+func L1(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// TopK returns the indices of the k largest entries of ranks,
+// descending, with ascending index as the tie-break.
+func TopK(ranks []float64, k int) []int32 {
+	idx := make([]int32, 0, len(ranks))
+	for i, r := range ranks {
+		if r > 0 {
+			idx = append(idx, int32(i))
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		ri, rj := ranks[idx[i]], ranks[idx[j]]
+		if ri != rj {
+			return ri > rj
+		}
+		return idx[i] < idx[j]
+	})
+	if k < len(idx) {
+		idx = idx[:k]
+	}
+	return idx
+}
+
+// TopKOverlap returns |topk(a) ∩ topk(b)| / k, a quick agreement
+// measure between two rank vectors.
+func TopKOverlap(a, b []float64, k int) float64 {
+	ta, tb := TopK(a, k), TopK(b, k)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	set := make(map[int32]bool, len(ta))
+	for _, v := range ta {
+		set[v] = true
+	}
+	inter := 0
+	for _, v := range tb {
+		if set[v] {
+			inter++
+		}
+	}
+	denom := k
+	if len(ta) < denom {
+		denom = len(ta)
+	}
+	if denom == 0 {
+		return 0
+	}
+	return float64(inter) / float64(denom)
+}
+
+// Spearman computes the Spearman rank correlation between two vectors
+// over the indices where at least one is positive. It returns 1 for
+// degenerate (constant) inputs that agree and 0 when there is no
+// overlap.
+func Spearman(a, b []float64) float64 {
+	var idx []int
+	for i := range a {
+		if a[i] > 0 || b[i] > 0 {
+			idx = append(idx, i)
+		}
+	}
+	n := len(idx)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return 1
+	}
+	ra := rankOf(a, idx)
+	rb := rankOf(b, idx)
+	var ma, mb float64
+	for i := 0; i < n; i++ {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		if va == vb {
+			return 1
+		}
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// rankOf returns average ranks (1-based, ties averaged) of vals at idx.
+func rankOf(vals []float64, idx []int) []float64 {
+	n := len(idx)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return vals[idx[order[x]]] < vals[idx[order[y]]] })
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i + 1
+		for j < n && vals[idx[order[j]]] == vals[idx[order[i]]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based positions i+1..j
+		for k := i; k < j; k++ {
+			ranks[order[k]] = avg
+		}
+		i = j
+	}
+	return ranks
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pmpr/internal/events"
+)
+
+func TestHistogram(t *testing.T) {
+	evs := []events.Event{
+		{U: 0, V: 1, T: 0}, {U: 0, V: 1, T: 1},
+		{U: 0, V: 1, T: 50}, {U: 0, V: 1, T: 99},
+	}
+	l, _ := events.NewLog(evs, 2)
+	counts, width, t0 := Histogram(l, 4)
+	if t0 != 0 || width != 25 {
+		t.Fatalf("t0=%d width=%d", t0, width)
+	}
+	want := []int64{2, 0, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != int64(l.Len()) {
+		t.Fatalf("histogram loses events: %d != %d", total, l.Len())
+	}
+}
+
+func TestHistogramEmptyAndDegenerate(t *testing.T) {
+	l, _ := events.NewLog(nil, 2)
+	counts, width, _ := Histogram(l, 5)
+	if width != 0 {
+		t.Fatal("empty log should have zero width")
+	}
+	for _, c := range counts {
+		if c != 0 {
+			t.Fatal("empty log should have zero counts")
+		}
+	}
+	// All events at one instant.
+	one, _ := events.NewLog([]events.Event{{T: 7}, {T: 7}}, 1)
+	counts, _, _ = Histogram(one, 3)
+	if counts[0] != 2 {
+		t.Fatalf("degenerate histogram = %v", counts)
+	}
+}
+
+func TestHistogramConservesQuick(t *testing.T) {
+	f := func(raw []uint16, binsRaw uint8) bool {
+		bins := int(binsRaw%32) + 1
+		evs := make([]events.Event, len(raw))
+		for i, r := range raw {
+			evs[i] = events.Event{U: 0, V: 1, T: int64(r)}
+		}
+		l, err := events.NewLogSorted(evs, 2)
+		if err != nil {
+			return false
+		}
+		counts, _, _ := Histogram(l, bins)
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		return total == int64(len(raw))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL1(t *testing.T) {
+	if d := L1([]float64{1, 2, 3}, []float64{1, 1, 5}); d != 3 {
+		t.Fatalf("L1 = %v, want 3", d)
+	}
+	if d := L1(nil, nil); d != 0 {
+		t.Fatalf("L1(nil) = %v", d)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ranks := []float64{0, 0.5, 0.2, 0.5, 0, 0.3}
+	got := TopK(ranks, 3)
+	want := []int32{1, 3, 5} // ties broken by ascending index
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	if len(TopK(ranks, 100)) != 4 {
+		t.Fatal("TopK should cap at positive entries")
+	}
+	if len(TopK([]float64{0, 0}, 2)) != 0 {
+		t.Fatal("TopK of zero vector should be empty")
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []float64{0.4, 0.3, 0.2, 0.1}
+	b := []float64{0.1, 0.2, 0.3, 0.4}
+	if o := TopKOverlap(a, a, 2); o != 1 {
+		t.Fatalf("self overlap = %v", o)
+	}
+	if o := TopKOverlap(a, b, 2); o != 0 {
+		t.Fatalf("disjoint top-2 overlap = %v", o)
+	}
+	if o := TopKOverlap(nil, nil, 3); o != 1 {
+		t.Fatalf("empty overlap = %v", o)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	a := []float64{0.1, 0.2, 0.3, 0.4}
+	if s := Spearman(a, a); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("self correlation = %v", s)
+	}
+	rev := []float64{0.4, 0.3, 0.2, 0.1}
+	if s := Spearman(a, rev); math.Abs(s+1) > 1e-12 {
+		t.Fatalf("reversed correlation = %v, want -1", s)
+	}
+	if s := Spearman([]float64{0, 0}, []float64{0, 0}); s != 0 {
+		t.Fatalf("all-zero correlation = %v, want 0 (no overlap)", s)
+	}
+	// Ties averaged: identical constant positives correlate as 1.
+	if s := Spearman([]float64{0.5, 0.5}, []float64{0.5, 0.5}); s != 1 {
+		t.Fatalf("constant correlation = %v, want 1", s)
+	}
+}
+
+func TestSpearmanBoundsQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, r := range raw {
+			a[i] = float64(r%16) / 16
+			b[i] = float64(r/16) / 16
+		}
+		s := Spearman(a, b)
+		return s >= -1.0000001 && s <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKOverlapSymmetricQuick(t *testing.T) {
+	f := func(raw []uint8, kRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, r := range raw {
+			a[i] = float64(r % 16)
+			b[i] = float64(r / 16)
+		}
+		x, y := TopKOverlap(a, b, k), TopKOverlap(b, a, k)
+		// Overlap is symmetric when both sides have >= k positive
+		// entries; always within [0, 1].
+		if x < 0 || x > 1 || y < 0 || y > 1 {
+			return false
+		}
+		ca, cb := 0, 0
+		for i := range a {
+			if a[i] > 0 {
+				ca++
+			}
+			if b[i] > 0 {
+				cb++
+			}
+		}
+		if ca >= k && cb >= k && x != y {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders an aligned ASCII table, the
+// harness's stand-in for the paper's plots.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v (floats as %.3g via
+// Cell helpers below where needed).
+func (t *Table) Row(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Rowf appends a row of formatted values.
+func (t *Table) Rowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Heatmap renders a labelled grid of values, mirroring the paper's
+// Fig. 11/12 heatmaps.
+type Heatmap struct {
+	RowLabel, ColLabel string
+	cols               []string
+	rows               []string
+	vals               map[[2]int]float64
+}
+
+// NewHeatmap creates a heatmap with the given axis titles.
+func NewHeatmap(rowLabel, colLabel string) *Heatmap {
+	return &Heatmap{RowLabel: rowLabel, ColLabel: colLabel, vals: map[[2]int]float64{}}
+}
+
+// Set stores a cell, registering row/column labels on first use.
+func (h *Heatmap) Set(row, col string, v float64) {
+	ri := index(&h.rows, row)
+	ci := index(&h.cols, col)
+	h.vals[[2]int{ri, ci}] = v
+}
+
+func index(list *[]string, s string) int {
+	for i, x := range *list {
+		if x == s {
+			return i
+		}
+	}
+	*list = append(*list, s)
+	return len(*list) - 1
+}
+
+// Render writes the heatmap.
+func (h *Heatmap) Render(w io.Writer) {
+	t := NewTable(append([]string{h.RowLabel + `\` + h.ColLabel}, h.cols...)...)
+	for ri, rl := range h.rows {
+		row := []string{rl}
+		for ci := range h.cols {
+			if v, ok := h.vals[[2]int{ri, ci}]; ok {
+				if v < 10 {
+					row = append(row, fmt.Sprintf("%.1f", v))
+				} else {
+					row = append(row, fmt.Sprintf("%.0f", v))
+				}
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Row(row...)
+	}
+	t.Render(w)
+}
+
+// Sparkline renders counts as a one-line unicode bar profile (used for
+// the Fig. 4 edge distributions).
+func Sparkline(counts []int64) string {
+	if len(counts) == 0 {
+		return ""
+	}
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	var max int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(" ", len(counts))
+	}
+	var b strings.Builder
+	for _, c := range counts {
+		idx := int(c * int64(len(glyphs)-1) / max)
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}

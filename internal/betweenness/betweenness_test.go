@@ -1,0 +1,285 @@
+package betweenness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pmpr/internal/events"
+	"pmpr/internal/sched"
+)
+
+func ev(u, v int32, t int64) events.Event { return events.Event{U: u, V: v, T: t} }
+
+func randomLog(t *testing.T, seed int64, n int32, m int, span int64) *events.Log {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]events.Event, m)
+	tcur := int64(0)
+	for i := range evs {
+		tcur += rng.Int63n(span/int64(m) + 1)
+		evs[i] = ev(int32(rng.Intn(int(n))), int32(rng.Intn(int(n))), tcur)
+	}
+	l, err := events.NewLog(evs, n)
+	if err != nil {
+		t.Fatalf("NewLog: %v", err)
+	}
+	return l
+}
+
+// naiveBetweenness computes exact undirected betweenness by
+// enumerating shortest paths with BFS path counting per ordered pair.
+func naiveBetweenness(l *events.Log, ts, te int64) map[int32]float64 {
+	adj := make(map[int32]map[int32]bool)
+	add := func(a, b int32) {
+		if a == b {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = make(map[int32]bool)
+		}
+		adj[a][b] = true
+	}
+	seen := make(map[int32]bool)
+	for _, e := range l.Slice(ts, te) {
+		add(e.U, e.V)
+		add(e.V, e.U)
+		seen[e.U] = true
+		seen[e.V] = true
+	}
+	out := make(map[int32]float64)
+	for v := range seen {
+		out[v] = 0
+	}
+	// For each ordered pair (s, t): count shortest s-t paths and how
+	// many pass through each interior vertex; add fraction.
+	for s := range seen {
+		// BFS with path counts.
+		dist := map[int32]int{s: 0}
+		sigma := map[int32]float64{s: 1}
+		var order []int32
+		queue := []int32{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for u := range adj[v] {
+				if _, ok := dist[u]; !ok {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+				if dist[u] == dist[v]+1 {
+					sigma[u] += sigma[v]
+				}
+			}
+		}
+		// Dependency accumulation (Brandes) — independent
+		// reimplementation with maps.
+		delta := map[int32]float64{}
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for v := range adj[w] {
+				if dist[v] == dist[w]+1 {
+					delta[w] += sigma[w] / sigma[v] * (1 + delta[v])
+				}
+			}
+			if w != s {
+				out[w] += delta[w]
+			}
+		}
+	}
+	for v := range out {
+		out[v] /= 2 // undirected pairs counted from both endpoints
+	}
+	return out
+}
+
+func TestExactMatchesOracle(t *testing.T) {
+	pool := sched.NewPool(3)
+	defer pool.Close()
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		n := int32(rng.Intn(25) + 3)
+		l := randomLog(t, int64(1100+trial), n, rng.Intn(200)+10, 1500)
+		spec, err := events.Span(l, int64(rng.Intn(400)+1), int64(rng.Intn(150)+1))
+		if err != nil {
+			t.Fatalf("Span: %v", err)
+		}
+		for _, usePool := range []bool{false, true} {
+			p := pool
+			if !usePool {
+				p = nil
+			}
+			cfg := DefaultConfig()
+			cfg.Directed = true
+			cfg.NumMultiWindows = 2
+			cfg.KeepScores = true
+			eng, err := NewEngine(l, spec, cfg, p)
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			s, err := eng.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for w := 0; w < spec.Count; w++ {
+				want := naiveBetweenness(l, spec.Start(w), spec.End(w))
+				r := s.Window(w)
+				if int(r.ActiveVertices) != len(want) {
+					t.Fatalf("trial %d w %d: active %d, oracle %d", trial, w, r.ActiveVertices, len(want))
+				}
+				for v, c := range want {
+					if got := r.Score(v); math.Abs(got-c) > 1e-9 {
+						t.Fatalf("trial %d w %d vertex %d: %v, oracle %v", trial, w, v, got, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStarAndPathValues(t *testing.T) {
+	// Star with center 0 and 4 leaves: center betweenness = C(4,2) = 6,
+	// leaves 0. Undirected convention: each unordered pair once.
+	var evs []events.Event
+	for i := int32(1); i <= 4; i++ {
+		evs = append(evs, ev(0, i, int64(i)))
+	}
+	raw, _ := events.NewLog(evs, 5)
+	l := raw.Symmetrize()
+	spec := events.WindowSpec{T0: 0, Delta: 100, Slide: 100, Count: 1}
+	cfg := DefaultConfig()
+	cfg.KeepScores = true
+	eng, _ := NewEngine(l, spec, cfg, nil)
+	s, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r := s.Window(0)
+	if math.Abs(r.Score(0)-6) > 1e-12 {
+		t.Fatalf("center betweenness %v, want 6", r.Score(0))
+	}
+	for v := int32(1); v <= 4; v++ {
+		if r.Score(v) != 0 {
+			t.Fatalf("leaf %d betweenness %v, want 0", v, r.Score(v))
+		}
+	}
+	if r.Top != 0 {
+		t.Fatalf("top = %d, want 0", r.Top)
+	}
+
+	// Path 0-1-2-3: B(1) = B(2) = 2 (pairs (0,2),(0,3) resp. (0,3),(1,3)).
+	raw2, _ := events.NewLog([]events.Event{ev(0, 1, 0), ev(1, 2, 1), ev(2, 3, 2)}, 4)
+	l2 := raw2.Symmetrize()
+	eng2, _ := NewEngine(l2, spec, cfg, nil)
+	s2, err := eng2.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r2 := s2.Window(0)
+	if math.Abs(r2.Score(1)-2) > 1e-12 || math.Abs(r2.Score(2)-2) > 1e-12 {
+		t.Fatalf("path betweenness = %v, %v; want 2, 2", r2.Score(1), r2.Score(2))
+	}
+}
+
+func TestSamplingDeterministicAndReasonable(t *testing.T) {
+	l := randomLog(t, 1200, 30, 1200, 600)
+	spec := events.WindowSpec{T0: 0, Delta: 600, Slide: 700, Count: 1}
+	exactCfg := DefaultConfig()
+	exactCfg.Directed = true
+	exactCfg.KeepScores = true
+	ee, _ := NewEngine(l, spec, exactCfg, nil)
+	exact, err := ee.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	apxCfg := exactCfg
+	apxCfg.SampleSources = 10
+	ae, _ := NewEngine(l, spec, apxCfg, nil)
+	a1, err := ae.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ae2, _ := NewEngine(l, spec, apxCfg, nil)
+	a2, err := ae2.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for v := int32(0); v < l.NumVertices(); v++ {
+		if a1.Window(0).Score(v) != a2.Window(0).Score(v) {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	// Estimator is unbiased; on a dense single window the top-5 sets
+	// should intersect.
+	top := func(s *Series) map[int32]bool {
+		type pair struct {
+			v int32
+			c float64
+		}
+		var ps []pair
+		for v := int32(0); v < l.NumVertices(); v++ {
+			if c := s.Window(0).Score(v); c > 0 {
+				ps = append(ps, pair{v, c})
+			}
+		}
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				if ps[j].c > ps[i].c {
+					ps[i], ps[j] = ps[j], ps[i]
+				}
+			}
+		}
+		if len(ps) > 5 {
+			ps = ps[:5]
+		}
+		out := map[int32]bool{}
+		for _, p := range ps {
+			out[p.v] = true
+		}
+		return out
+	}
+	te, ta := top(exact), top(a1)
+	inter := 0
+	for v := range ta {
+		if te[v] {
+			inter++
+		}
+	}
+	if inter == 0 {
+		t.Fatal("sampled top-5 shares nothing with exact top-5")
+	}
+}
+
+func TestBetweennessValidation(t *testing.T) {
+	l := randomLog(t, 1300, 5, 10, 50)
+	spec, _ := events.Span(l, 20, 10)
+	cfg := DefaultConfig()
+	cfg.NumMultiWindows = 0
+	if _, err := NewEngine(l, spec, cfg, nil); err == nil {
+		t.Fatal("bad NumMultiWindows accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.SampleSources = -2
+	if _, err := NewEngine(l, spec, cfg, nil); err == nil {
+		t.Fatal("negative SampleSources accepted")
+	}
+	if _, err := NewEngineFromTemporal(nil, DefaultConfig(), nil); err == nil {
+		t.Fatal("nil temporal accepted")
+	}
+}
+
+func TestEmptyWindowBetweenness(t *testing.T) {
+	l, _ := events.NewLog([]events.Event{ev(0, 1, 0)}, 2)
+	spec := events.WindowSpec{T0: 0, Delta: 1, Slide: 100, Count: 2}
+	cfg := DefaultConfig()
+	cfg.Directed = true
+	eng, _ := NewEngine(l, spec, cfg, nil)
+	s, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Window(1).Top != -1 || s.Window(1).ActiveVertices != 0 {
+		t.Fatalf("empty window: %+v", s.Window(1))
+	}
+}

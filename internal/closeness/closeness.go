@@ -1,0 +1,265 @@
+// Package closeness computes harmonic closeness centrality on every
+// window of a temporal graph, postmortem-style — the centrality family
+// the paper names alongside PageRank for the sliding-window model
+// (Sec. 3.1; the streaming incremental variants it cites are Sariyüce
+// et al.'s). Harmonic closeness,
+//
+//	C(v) = sum_{u != v, d(v,u) < inf} 1 / d(v,u),
+//
+// is used instead of classic closeness because window graphs are
+// routinely disconnected.
+//
+// Exact computation runs one BFS per active vertex per window. Because
+// that is Theta(V*E) per window, the engine also supports the standard
+// sampled approximation (Eppstein–Wang style): BFS from k sampled
+// sources and scale by |V_active|/k. Sampling is deterministic per
+// (window, seed).
+package closeness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmpr/internal/events"
+	"pmpr/internal/sched"
+	"pmpr/internal/tcsr"
+)
+
+// Config controls a closeness run.
+type Config struct {
+	// NumMultiWindows partitions the window sequence (see tcsr.Build).
+	NumMultiWindows int
+	// BalancedPartition splits by event load instead of uniformly.
+	BalancedPartition bool
+	// Directed controls the representation build; distances always use
+	// the undirected view.
+	Directed bool
+	// Partitioner and Grain configure the window-level loop.
+	Partitioner sched.Partitioner
+	Grain       int
+	// SampleSources > 0 approximates: per window, BFS only from that
+	// many sampled active sources. 0 computes exactly.
+	SampleSources int
+	// Seed drives source sampling.
+	Seed int64
+	// KeepScores retains each window's centrality vector.
+	KeepScores bool
+}
+
+// DefaultConfig matches the other engines' defaults, with exact
+// computation.
+func DefaultConfig() Config {
+	return Config{NumMultiWindows: 6, Partitioner: sched.Auto, Grain: 2}
+}
+
+// WindowResult summarizes one window.
+type WindowResult struct {
+	Window         int
+	ActiveVertices int32
+	// Top is the vertex with the highest harmonic closeness (global
+	// id), -1 for an empty window.
+	Top int32
+	// TopScore is Top's score.
+	TopScore float64
+	// SampledSources is the number of BFS sources used (== active count
+	// when exact).
+	SampledSources int32
+
+	scores []float64
+	mw     *tcsr.MultiWindow
+}
+
+// Score returns the (possibly approximated) harmonic closeness of the
+// global vertex, or -1 when inactive or scores were not kept.
+func (r *WindowResult) Score(global int32) float64 {
+	if r.scores == nil {
+		return -1
+	}
+	local := r.mw.LocalID(global)
+	if local < 0 {
+		return -1
+	}
+	return r.scores[local]
+}
+
+// Series is the per-window sequence.
+type Series struct {
+	Spec    events.WindowSpec
+	Results []WindowResult
+}
+
+// Window returns the result for window i.
+func (s *Series) Window(i int) *WindowResult { return &s.Results[i] }
+
+// Len returns the number of windows.
+func (s *Series) Len() int { return len(s.Results) }
+
+// Engine computes the series.
+type Engine struct {
+	tg   *tcsr.Temporal
+	cfg  Config
+	pool *sched.Pool
+}
+
+// NewEngine builds the temporal representation for l under spec.
+func NewEngine(l *events.Log, spec events.WindowSpec, cfg Config, pool *sched.Pool) (*Engine, error) {
+	if cfg.NumMultiWindows < 1 {
+		return nil, fmt.Errorf("closeness: NumMultiWindows %d must be >= 1", cfg.NumMultiWindows)
+	}
+	if cfg.SampleSources < 0 {
+		return nil, fmt.Errorf("closeness: SampleSources %d must be >= 0", cfg.SampleSources)
+	}
+	build := tcsr.Build
+	if cfg.BalancedPartition {
+		build = tcsr.BuildBalanced
+	}
+	tg, err := build(l, spec, cfg.NumMultiWindows, cfg.Directed)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{tg: tg, cfg: cfg, pool: pool}, nil
+}
+
+// NewEngineFromTemporal reuses an existing representation.
+func NewEngineFromTemporal(tg *tcsr.Temporal, cfg Config, pool *sched.Pool) (*Engine, error) {
+	if tg == nil {
+		return nil, fmt.Errorf("closeness: nil temporal representation")
+	}
+	return &Engine{tg: tg, cfg: cfg, pool: pool}, nil
+}
+
+// Temporal exposes the representation.
+func (e *Engine) Temporal() *tcsr.Temporal { return e.tg }
+
+// Run computes closeness for every window; windows run in parallel on
+// the pool, serially with a nil pool.
+func (e *Engine) Run() (*Series, error) {
+	count := e.tg.Spec.Count
+	results := make([]WindowResult, count)
+	body := func(lo, hi int) {
+		var view tcsr.WindowView
+		var b bfs
+		for w := lo; w < hi; w++ {
+			results[w] = e.solveWindow(w, &view, &b)
+		}
+	}
+	if e.pool == nil {
+		body(0, count)
+	} else {
+		grain := e.cfg.Grain
+		if grain < 1 {
+			grain = 1
+		}
+		e.pool.ParallelFor(count, grain, e.cfg.Partitioner, func(_ *sched.Worker, lo, hi int) {
+			body(lo, hi)
+		})
+	}
+	return &Series{Spec: e.tg.Spec, Results: results}, nil
+}
+
+func (e *Engine) solveWindow(w int, view *tcsr.WindowView, b *bfs) WindowResult {
+	mw := e.tg.ForWindow(w)
+	mw.Materialize(w, view)
+	n := int(mw.NumLocal())
+	res := WindowResult{Window: w, ActiveVertices: view.NumActive, Top: -1, mw: mw}
+	if view.NumActive == 0 {
+		if e.cfg.KeepScores {
+			res.scores = make([]float64, n)
+			for v := range res.scores {
+				res.scores[v] = -1
+			}
+		}
+		return res
+	}
+
+	// Pick the BFS sources.
+	var sources []int32
+	if e.cfg.SampleSources == 0 || int32(e.cfg.SampleSources) >= view.NumActive {
+		for v := 0; v < n; v++ {
+			if view.Active[v] {
+				sources = append(sources, int32(v))
+			}
+		}
+	} else {
+		actives := make([]int32, 0, view.NumActive)
+		for v := 0; v < n; v++ {
+			if view.Active[v] {
+				actives = append(actives, int32(v))
+			}
+		}
+		rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(w)*0x9E3779B97F4A7C))
+		rng.Shuffle(len(actives), func(i, j int) { actives[i], actives[j] = actives[j], actives[i] })
+		sources = actives[:e.cfg.SampleSources]
+	}
+	res.SampledSources = int32(len(sources))
+
+	// Harmonic closeness accumulates reciprocal distances at the
+	// *visited* vertex: C(v) += 1/d(source, v) per BFS. With the
+	// undirected view this equals summing over targets from v.
+	scores := make([]float64, n)
+	for _, s := range sources {
+		b.run(view, s, func(v int32, dist int32) {
+			if dist > 0 {
+				scores[v] += 1 / float64(dist)
+			}
+		})
+	}
+	if res.SampledSources < view.NumActive {
+		scale := float64(view.NumActive) / float64(len(sources))
+		for v := range scores {
+			scores[v] *= scale
+		}
+	}
+	for v := 0; v < n; v++ {
+		if view.Active[v] && scores[v] > res.TopScore {
+			res.TopScore = scores[v]
+			res.Top = mw.GlobalID(int32(v))
+		}
+	}
+	if e.cfg.KeepScores {
+		for v := 0; v < n; v++ {
+			if !view.Active[v] {
+				scores[v] = -1
+			}
+		}
+		res.scores = scores
+	}
+	return res
+}
+
+// bfs is a reusable breadth-first search over a window view.
+type bfs struct {
+	dist  []int32
+	queue []int32
+	epoch int32
+	seen  []int32 // seen[v] == epoch means dist[v] is valid
+}
+
+// run performs BFS from src, invoking visit(v, d) for every reached
+// vertex (including src at distance 0).
+func (b *bfs) run(view *tcsr.WindowView, src int32, visit func(v, d int32)) {
+	n := len(view.Active)
+	if cap(b.dist) < n {
+		b.dist = make([]int32, n)
+		b.seen = make([]int32, n)
+		b.queue = make([]int32, 0, n)
+	}
+	b.dist = b.dist[:n]
+	b.seen = b.seen[:n]
+	b.epoch++
+	b.queue = b.queue[:0]
+	b.queue = append(b.queue, src)
+	b.seen[src] = b.epoch
+	b.dist[src] = 0
+	for head := 0; head < len(b.queue); head++ {
+		v := b.queue[head]
+		visit(v, b.dist[v])
+		for _, u := range view.Col[view.Row[v]:view.Row[v+1]] {
+			if b.seen[u] != b.epoch {
+				b.seen[u] = b.epoch
+				b.dist[u] = b.dist[v] + 1
+				b.queue = append(b.queue, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package core implements the paper's primary contribution: postmortem
+// PageRank over a temporal graph (Sec. 4). An Engine owns a temporal
+// CSR representation partitioned into multi-window graphs and computes
+// the PageRank vector of every sliding window using
+//
+//   - partial initialization from the previous window (Sec. 4.2),
+//   - window-level, application-level, or nested parallelism on a
+//     work-stealing pool (Sec. 4.3), and
+//   - an SpMV-style kernel (one window at a time) or the SpMM-inspired
+//     kernel that advances several windows per sweep (Sec. 4.4).
+package core
+
+import (
+	"fmt"
+
+	"pmpr/internal/pagerank"
+	"pmpr/internal/sched"
+)
+
+// ParallelMode selects which level(s) of parallelism the engine uses
+// (paper Sec. 4.3).
+type ParallelMode int
+
+const (
+	// AppLevel processes windows one at a time, in order, and
+	// parallelizes inside the PageRank kernel (over vertices).
+	AppLevel ParallelMode = iota
+	// WindowLevel parallelizes across time windows; each window's
+	// kernel runs serially.
+	WindowLevel
+	// Nested combines both: windows in parallel, and each kernel's
+	// vertex loops forked on the same pool.
+	Nested
+)
+
+func (m ParallelMode) String() string {
+	switch m {
+	case AppLevel:
+		return "app-level"
+	case WindowLevel:
+		return "window-level"
+	case Nested:
+		return "nested"
+	default:
+		return fmt.Sprintf("ParallelMode(%d)", int(m))
+	}
+}
+
+// Kernel selects the iteration kernel (paper Sec. 4.4).
+type Kernel int
+
+const (
+	// SpMV computes one window's PageRank at a time.
+	SpMV Kernel = iota
+	// SpMM advances VectorLen windows of a multi-window graph per sweep
+	// of the shared temporal CSR.
+	SpMM
+	// SpMVBlocked is SpMV with propagation blocking (Beamer et al.,
+	// cited in Sec. 2.2): contributions are pushed into
+	// destination-range bins and drained in a second, cache-friendly
+	// pass instead of pulled with random reads.
+	SpMVBlocked
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case SpMV:
+		return "spmv"
+	case SpMM:
+		return "spmm"
+	case SpMVBlocked:
+		return "spmv-blocked"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// Config controls an Engine.
+type Config struct {
+	// Opts are the PageRank iteration parameters shared by all models.
+	Opts pagerank.Options
+	// NumMultiWindows is the number of multi-window graphs the window
+	// sequence is partitioned into (paper default: 6).
+	NumMultiWindows int
+	// BalancedPartition splits the window sequence by event load instead
+	// of uniformly by window count — the non-uniform decomposition the
+	// paper's conclusion suggests as future work. It evens the
+	// per-window sweep cost on temporally bursty datasets.
+	BalancedPartition bool
+	// Mode is the parallelization level.
+	Mode ParallelMode
+	// Kernel selects SpMV or SpMM iteration.
+	Kernel Kernel
+	// VectorLen is the number of PageRank vectors an SpMM sweep
+	// advances simultaneously (the paper uses 8 or 16).
+	VectorLen int
+	// PartialInit enables warm-starting a window from its predecessor
+	// (Eq. 4). Disabled, every window starts from the uniform vector.
+	PartialInit bool
+	// Partitioner and Grain configure the scheduler's range splitting
+	// for both the window loop and the vertex loops.
+	Partitioner sched.Partitioner
+	// Grain is the scheduler grain size (the figures' "WS granularity").
+	Grain int
+	// Directed keeps edge direction; when false the caller is expected
+	// to have symmetrized the log.
+	Directed bool
+	// DiscardRanks drops each window's rank vector once its successor
+	// has consumed it, keeping only the per-window statistics. Used by
+	// benchmarks to avoid measuring result-retention memory traffic.
+	DiscardRanks bool
+}
+
+// DefaultConfig returns the paper's suggested parameters (Sec. 6.3.6):
+// SpMM kernel, auto partitioner with a small grain, nested parallelism,
+// partial initialization on, 6 multi-window graphs.
+func DefaultConfig() Config {
+	return Config{
+		Opts:            pagerank.Defaults(),
+		NumMultiWindows: 6,
+		Mode:            Nested,
+		Kernel:          SpMM,
+		VectorLen:       8,
+		PartialInit:     true,
+		Partitioner:     sched.Auto,
+		Grain:           2,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Opts.Validate(); err != nil {
+		return err
+	}
+	if c.NumMultiWindows < 1 {
+		return fmt.Errorf("core: NumMultiWindows %d must be >= 1", c.NumMultiWindows)
+	}
+	if c.Mode < AppLevel || c.Mode > Nested {
+		return fmt.Errorf("core: unknown parallel mode %d", int(c.Mode))
+	}
+	if c.Kernel != SpMV && c.Kernel != SpMM && c.Kernel != SpMVBlocked {
+		return fmt.Errorf("core: unknown kernel %d", int(c.Kernel))
+	}
+	if c.Kernel == SpMM && c.VectorLen < 1 {
+		return fmt.Errorf("core: VectorLen %d must be >= 1 for the SpMM kernel", c.VectorLen)
+	}
+	if c.Grain < 0 {
+		return fmt.Errorf("core: Grain %d must be >= 0", c.Grain)
+	}
+	return nil
+}
+
+func (c Config) grain() int {
+	if c.Grain < 1 {
+		return 1
+	}
+	return c.Grain
+}

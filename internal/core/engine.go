@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pmpr/internal/events"
+	"pmpr/internal/sched"
+	"pmpr/internal/tcsr"
+)
+
+// Engine computes the postmortem PageRank series of a temporal graph.
+// It owns the temporal CSR representation (built once, reused across
+// Run calls) and a reference to a scheduler pool.
+type Engine struct {
+	tg   *tcsr.Temporal
+	cfg  Config
+	pool *sched.Pool
+}
+
+// NewEngine builds the postmortem representation of l under spec and
+// returns an engine. pool may be nil, in which case every mode degrades
+// to a fully serial execution (useful for tests and baselines).
+func NewEngine(l *events.Log, spec events.WindowSpec, cfg Config, pool *sched.Pool) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	build := tcsr.Build
+	if cfg.BalancedPartition {
+		build = tcsr.BuildBalanced
+	}
+	tg, err := build(l, spec, cfg.NumMultiWindows, cfg.Directed)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{tg: tg, cfg: cfg, pool: pool}, nil
+}
+
+// NewEngineFromTemporal wraps an existing representation, so that
+// several configurations (kernel, mode, grain, ...) can be benchmarked
+// without rebuilding the temporal CSR. cfg.NumMultiWindows is ignored;
+// the partitioning of tg is used. cfg.Directed must match the build.
+func NewEngineFromTemporal(tg *tcsr.Temporal, cfg Config, pool *sched.Pool) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tg == nil {
+		return nil, errors.New("core: nil temporal representation")
+	}
+	if cfg.Directed != tg.Directed {
+		return nil, fmt.Errorf("core: config direction (%v) disagrees with representation (%v)",
+			cfg.Directed, tg.Directed)
+	}
+	return &Engine{tg: tg, cfg: cfg, pool: pool}, nil
+}
+
+// Temporal exposes the underlying representation.
+func (e *Engine) Temporal() *tcsr.Temporal { return e.tg }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Run computes PageRank for every window of the sequence and returns
+// the series. It is safe to call Run repeatedly; the representation is
+// read-only during execution.
+func (e *Engine) Run() (*Series, error) {
+	count := e.tg.Spec.Count
+	results := make([]WindowResult, count)
+	switch e.cfg.Kernel {
+	case SpMV, SpMVBlocked:
+		e.runSpMV(results)
+	case SpMM:
+		e.runSpMM(results)
+	default:
+		return nil, fmt.Errorf("core: unknown kernel %v", e.cfg.Kernel)
+	}
+	return &Series{
+		Spec:        e.tg.Spec,
+		NumVertices: e.tg.NumVertices(),
+		Results:     results,
+	}, nil
+}
+
+// spmvRange processes windows [lo, hi) in order with the SpMV kernel,
+// chaining partial initialization inside the range: a window
+// warm-starts iff its predecessor was computed in this same range and
+// lives in the same multi-window graph — exactly the paper's "if the
+// same thread processes Gi-1 and Gi, partial initialization occurs".
+func (e *Engine) spmvRange(lo, hi int, loop forLoop, results []WindowResult) {
+	var prev []float64
+	var prevMW *tcsr.MultiWindow
+	solver := e.solveWindow
+	if e.cfg.Kernel == SpMVBlocked {
+		solver = e.solveWindowBlocked
+	}
+	for w := lo; w < hi; w++ {
+		mw := e.tg.ForWindow(w)
+		var init []float64
+		if e.cfg.PartialInit && prevMW == mw && prev != nil {
+			init = prev
+		}
+		r := solver(mw, w, init, loop)
+		prev, prevMW = r.ranks, mw
+		if e.cfg.DiscardRanks {
+			r.ranks = nil
+		}
+		results[w] = r
+	}
+}
+
+func (e *Engine) runSpMV(results []WindowResult) {
+	count := e.tg.Spec.Count
+	grain := e.cfg.grain()
+	part := e.cfg.Partitioner
+	switch {
+	case e.pool == nil:
+		e.spmvRange(0, count, serialLoop, results)
+	case e.cfg.Mode == AppLevel:
+		// Windows strictly in order; all parallelism inside the kernel.
+		inner := poolLoop(e.pool, grain, part)
+		e.spmvRange(0, count, inner, results)
+	case e.cfg.Mode == WindowLevel:
+		e.pool.ParallelFor(count, grain, part, func(_ *sched.Worker, lo, hi int) {
+			e.spmvRange(lo, hi, serialLoop, results)
+		})
+	default: // Nested
+		e.pool.ParallelFor(count, grain, part, func(w *sched.Worker, lo, hi int) {
+			e.spmvRange(lo, hi, workerLoop(w, grain, part), results)
+		})
+	}
+}
+
+func (e *Engine) runSpMM(results []WindowResult) {
+	mws := e.tg.MWs
+	grain := e.cfg.grain()
+	part := e.cfg.Partitioner
+	switch {
+	case e.pool == nil:
+		for _, mw := range mws {
+			e.solveMW(mw, serialLoop, results)
+		}
+	case e.cfg.Mode == AppLevel:
+		inner := poolLoop(e.pool, grain, part)
+		for _, mw := range mws {
+			e.solveMW(mw, inner, results)
+		}
+	case e.cfg.Mode == WindowLevel:
+		// The multi-window graph is the unit of window-level work for
+		// SpMM: its batches are sequentially dependent through partial
+		// initialization, but distinct multi-window graphs are
+		// independent (this is why Fig. 8's window-level runs improve
+		// with more multi-window graphs).
+		e.pool.ParallelFor(len(mws), grain, part, func(_ *sched.Worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.solveMW(mws[i], serialLoop, results)
+			}
+		})
+	default: // Nested
+		e.pool.ParallelFor(len(mws), 1, part, func(w *sched.Worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.solveMW(mws[i], workerLoop(w, grain, part), results)
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"pmpr/internal/events"
+	"pmpr/internal/results"
+)
+
+// Export adapts the series to the results serialization interface. It
+// requires retained ranks (not Config.DiscardRanks).
+func (s *Series) Export() results.SeriesSource { return seriesSource{s} }
+
+type seriesSource struct{ s *Series }
+
+func (x seriesSource) SpecAndSize() (events.WindowSpec, int32) {
+	return x.s.Spec, x.s.NumVertices
+}
+
+func (x seriesSource) WindowAt(i int) results.WindowRanks {
+	r := x.s.Window(i)
+	wr := results.WindowRanks{
+		Window:          r.Window,
+		Iterations:      r.Iterations,
+		Converged:       r.Converged,
+		UsedPartialInit: r.UsedPartialInit,
+	}
+	r.ForEach(func(g int32, rank float64) {
+		wr.Vertices = append(wr.Vertices, g)
+		wr.Ranks = append(wr.Ranks, rank)
+	})
+	return wr
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"pmpr/internal/tcsr"
+)
+
+// solveWindowBlocked runs one window's PageRank with propagation
+// blocking (Beamer, Asanović, Patterson, IPDPS'17 — cited in the paper
+// Sec. 2.2 as compatible with the postmortem scheme). Instead of
+// pulling along in-edges with random reads of z, contributions are
+// pushed in two phases: phase 1 streams the out-CSR once and appends
+// (destination, contribution) pairs into destination-range bins; phase
+// 2 drains each bin, touching only a cache-sized slice of the rank
+// vector. The random access pattern of SpMV becomes two mostly
+// sequential passes.
+//
+// Bin capacities are the per-bin counts of active edges, which are
+// fixed for the window, so the buffers are sized once and reused across
+// iterations; parallel phase 1 claims slots with atomic cursors.
+func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64, loop forLoop) WindowResult {
+	n := int(mw.NumLocal())
+	st := computeWindowState(mw, w, e.cfg.Directed, loop)
+	res := WindowResult{Window: w, ActiveVertices: st.na, mw: mw}
+	x := make([]float64, n)
+	if st.na == 0 {
+		res.Converged = true
+		res.ranks = x
+		return res
+	}
+	res.UsedPartialInit = initVector(x, prev, st, loop)
+
+	ts, te := mw.Window(w)
+	opt := e.cfg.Opts
+	invNA := 1 / float64(st.na)
+
+	// Destination bins: binWidth vertices each, so phase 2 writes stay
+	// within a cache-friendly stripe of y.
+	const binShift = 12 // 4096 vertices per bin
+	numBins := (n + (1 << binShift) - 1) >> binShift
+	if numBins == 0 {
+		numBins = 1
+	}
+
+	// Count active out-edges per bin (constant across iterations).
+	binOffsets := make([]int64, numBins+1)
+	countsPerBin := make([]atomic.Int64, numBins)
+	outRow, outCol, outTime := mw.OutRow, mw.OutCol, mw.OutTime
+	loop(n, func(lo, hi int) {
+		local := make([]int64, numBins)
+		for u := lo; u < hi; u++ {
+			i, end := outRow[u], outRow[u+1]
+			for i < end {
+				j := i + 1
+				c := outCol[i]
+				for j < end && outCol[j] == c {
+					j++
+				}
+				if tcsr.RunActive(outTime[i:j], ts, te) {
+					local[c>>binShift]++
+				}
+				i = j
+			}
+		}
+		for b := 0; b < numBins; b++ {
+			if local[b] != 0 {
+				countsPerBin[b].Add(local[b])
+			}
+		}
+	})
+	total := int64(0)
+	for b := 0; b < numBins; b++ {
+		binOffsets[b] = total
+		total += countsPerBin[b].Load()
+	}
+	binOffsets[numBins] = total
+
+	binDst := make([]int32, total)
+	binVal := make([]float64, total)
+	cursors := make([]atomic.Int64, numBins)
+
+	y := make([]float64, n)
+	z := make([]float64, n)
+
+	for it := 0; it < opt.MaxIter; it++ {
+		res.Iterations = it + 1
+		var danglingAcc atomicFloat64
+		loop(n, func(lo, hi int) {
+			var d float64
+			for u := lo; u < hi; u++ {
+				z[u] = x[u] * st.invdeg[u]
+				if st.active[u] && st.invdeg[u] == 0 {
+					d += x[u]
+				}
+			}
+			danglingAcc.Add(d)
+		})
+		base := opt.Alpha*invNA + (1-opt.Alpha)*danglingAcc.Load()*invNA
+
+		// Phase 1: bin the contributions, streaming the out-CSR.
+		for b := 0; b < numBins; b++ {
+			cursors[b].Store(binOffsets[b])
+		}
+		loop(n, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				zu := z[u]
+				if zu == 0 {
+					continue
+				}
+				i, end := outRow[u], outRow[u+1]
+				for i < end {
+					j := i + 1
+					c := outCol[i]
+					for j < end && outCol[j] == c {
+						j++
+					}
+					if tcsr.RunActive(outTime[i:j], ts, te) {
+						slot := cursors[c>>binShift].Add(1) - 1
+						binDst[slot] = c
+						binVal[slot] = zu
+					}
+					i = j
+				}
+			}
+		})
+
+		// Phase 2: drain bins into y; bins own disjoint vertex stripes,
+		// so the pass is race-free when parallelized over bins.
+		var deltaAcc atomicFloat64
+		loop(numBins, func(blo, bhi int) {
+			var delta float64
+			for b := blo; b < bhi; b++ {
+				vLo := b << binShift
+				vHi := vLo + (1 << binShift)
+				if vHi > n {
+					vHi = n
+				}
+				for v := vLo; v < vHi; v++ {
+					if st.active[v] {
+						y[v] = base
+					} else {
+						y[v] = 0
+					}
+				}
+				// Note: a vertex can appear only up to cursors[b];
+				// z contributions of zero sources were skipped in
+				// phase 1, which is correct since they add nothing.
+				end := cursors[b].Load()
+				for s := binOffsets[b]; s < end; s++ {
+					y[binDst[s]] += (1 - opt.Alpha) * binVal[s]
+				}
+				for v := vLo; v < vHi; v++ {
+					delta += math.Abs(y[v] - x[v])
+				}
+			}
+			deltaAcc.Add(delta)
+		})
+		x, y = y, x
+		if deltaAcc.Load() < opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.ranks = x
+	return res
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"pmpr/internal/tcsr"
+)
+
+// solveMW runs the SpMM-inspired kernel (paper Sec. 4.4) over one
+// multi-window graph, writing a WindowResult for each of its windows
+// into out (indexed by global window id).
+//
+// The windows of the multi-window graph are split into VectorLen
+// contiguous regions. Batch j gathers the j-th window of every region,
+// so one sweep of the shared temporal CSR advances up to VectorLen
+// PageRank vectors, and every batch after the first warm-starts from
+// its region predecessor (which is the previous global window).
+func (e *Engine) solveMW(mw *tcsr.MultiWindow, loop forLoop, out []WindowResult) {
+	W := mw.NumWindows()
+	if W == 0 {
+		return
+	}
+	K := e.cfg.VectorLen
+	if K > W {
+		K = W
+	}
+	base := W / K
+	rem := W % K
+	regionStart := make([]int, K+1)
+	for r := 0; r < K; r++ {
+		size := base
+		if r < rem {
+			size++
+		}
+		regionStart[r+1] = regionStart[r] + size
+	}
+	numBatches := base
+	if rem > 0 {
+		numBatches++
+	}
+
+	// ranksByOffset[o] is the rank vector of window mw.WinLo+o, kept
+	// until batch o+1 has consumed it for partial initialization.
+	ranksByOffset := make([][]float64, W)
+
+	for j := 0; j < numBatches; j++ {
+		var wins []int
+		var inits [][]float64
+		for r := 0; r < K; r++ {
+			off := regionStart[r] + j
+			if off >= regionStart[r+1] {
+				continue
+			}
+			wins = append(wins, mw.WinLo+off)
+			if j > 0 && e.cfg.PartialInit {
+				inits = append(inits, ranksByOffset[off-1])
+			} else {
+				inits = append(inits, nil)
+			}
+		}
+		batch := e.solveBatch(mw, wins, inits, loop)
+		for s, w := range wins {
+			ranksByOffset[w-mw.WinLo] = batch[s].ranks
+			if e.cfg.DiscardRanks {
+				batch[s].ranks = nil
+			}
+			out[w] = batch[s]
+		}
+		if e.cfg.DiscardRanks && j > 0 {
+			// Batch j-1's vectors have been consumed; free them.
+			for r := 0; r < K; r++ {
+				if off := regionStart[r] + j - 1; off < regionStart[r+1] {
+					ranksByOffset[off] = nil
+				}
+			}
+		}
+	}
+}
+
+// solveBatch advances the PageRank vectors of the given windows (all in
+// mw) simultaneously. Vectors are interleaved — entry (v, k) lives at
+// v*K+k — so the random accesses of the pull pass hit one cache line
+// for all K windows, which is the SpMM effect the paper exploits.
+func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64, loop forLoop) []WindowResult {
+	n := int(mw.NumLocal())
+	K := len(wins)
+	opt := e.cfg.Opts
+
+	tsK := make([]int64, K)
+	teK := make([]int64, K)
+	for k, w := range wins {
+		tsK[k], teK[k] = mw.Window(w)
+	}
+
+	// Per-window inverse out-degrees, interleaved. First accumulate
+	// counts, then invert in place.
+	invdeg := make([]float64, n*K)
+	loop(n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			start, end := mw.OutRow[u], mw.OutRow[u+1]
+			i := start
+			for i < end {
+				j := i + 1
+				c := mw.OutCol[i]
+				for j < end && mw.OutCol[j] == c {
+					j++
+				}
+				times := mw.OutTime[i:j]
+				for k := 0; k < K; k++ {
+					if tcsr.RunActive(times, tsK[k], teK[k]) {
+						invdeg[u*K+k]++
+					}
+				}
+				i = j
+			}
+			for k := 0; k < K; k++ {
+				if d := invdeg[u*K+k]; d > 0 {
+					invdeg[u*K+k] = 1 / d
+				}
+			}
+		}
+	})
+
+	// Activity flags and |V_i| per window.
+	active := make([]bool, n*K)
+	naAcc := make([]atomic.Int32, K)
+	loop(n, func(lo, hi int) {
+		cnt := make([]int32, K)
+		for v := lo; v < hi; v++ {
+			pending := 0
+			for k := 0; k < K; k++ {
+				if invdeg[v*K+k] > 0 {
+					active[v*K+k] = true
+					cnt[k]++
+				} else if e.cfg.Directed {
+					pending++
+				}
+			}
+			if pending > 0 {
+				start, end := mw.InRow[v], mw.InRow[v+1]
+				i := start
+				for i < end && pending > 0 {
+					j := i + 1
+					c := mw.InCol[i]
+					for j < end && mw.InCol[j] == c {
+						j++
+					}
+					times := mw.InTime[i:j]
+					for k := 0; k < K; k++ {
+						if !active[v*K+k] && tcsr.RunActive(times, tsK[k], teK[k]) {
+							active[v*K+k] = true
+							cnt[k]++
+							pending--
+						}
+					}
+					i = j
+				}
+			}
+		}
+		for k := 0; k < K; k++ {
+			naAcc[k].Add(cnt[k])
+		}
+	})
+	na := make([]int32, K)
+	results := make([]WindowResult, K)
+	live := make([]int, 0, K)
+	for k := 0; k < K; k++ {
+		na[k] = naAcc[k].Load()
+		results[k] = WindowResult{Window: wins[k], ActiveVertices: na[k], mw: mw}
+		if na[k] > 0 {
+			live = append(live, k)
+		} else {
+			results[k].Converged = true
+		}
+	}
+
+	// Initialization: Eq. 4 per window slot where a predecessor vector
+	// is supplied, uniform otherwise.
+	x := make([]float64, n*K)
+	y := make([]float64, n*K)
+	z := make([]float64, n*K)
+	sharedN := make([]atomic.Int64, K)
+	var sharedSum []atomicFloat64 = make([]atomicFloat64, K)
+	loop(n, func(lo, hi int) {
+		cnt := make([]int64, K)
+		sum := make([]float64, K)
+		for v := lo; v < hi; v++ {
+			for k := 0; k < K; k++ {
+				if p := inits[k]; p != nil && active[v*K+k] && p[v] > 0 {
+					cnt[k]++
+					sum[k] += p[v]
+				}
+			}
+		}
+		for k := 0; k < K; k++ {
+			sharedN[k].Add(cnt[k])
+			sharedSum[k].Add(sum[k])
+		}
+	})
+	scale := make([]float64, K)
+	uniform := make([]float64, K)
+	partial := make([]bool, K)
+	for k := 0; k < K; k++ {
+		if na[k] == 0 {
+			continue
+		}
+		uniform[k] = 1 / float64(na[k])
+		if sh, sm := sharedN[k].Load(), sharedSum[k].Load(); inits[k] != nil && sh > 0 && sm > 0 {
+			scale[k] = float64(sh) / float64(na[k]) / sm
+			partial[k] = true
+			results[k].UsedPartialInit = true
+		}
+	}
+	loop(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for k := 0; k < K; k++ {
+				switch {
+				case !active[v*K+k]:
+					x[v*K+k] = 0
+				case partial[k] && inits[k][v] > 0:
+					x[v*K+k] = inits[k][v] * scale[k]
+				default:
+					x[v*K+k] = uniform[k]
+				}
+			}
+		}
+	})
+
+	dangling := make([]atomicFloat64, K)
+	deltas := make([]atomicFloat64, K)
+	baseK := make([]float64, K)
+	isLive := make([]bool, K)
+
+	for it := 0; it < opt.MaxIter && len(live) > 0; it++ {
+		for k := range isLive {
+			isLive[k] = false
+		}
+		for _, k := range live {
+			isLive[k] = true
+			results[k].Iterations = it + 1
+			dangling[k].Store(0)
+			deltas[k].Store(0)
+		}
+
+		// Pass 1 (by source): scaled contributions + dangling mass.
+		loop(n, func(lo, hi int) {
+			d := make([]float64, K)
+			for u := lo; u < hi; u++ {
+				for _, k := range live {
+					z[u*K+k] = x[u*K+k] * invdeg[u*K+k]
+					if active[u*K+k] && invdeg[u*K+k] == 0 {
+						d[k] += x[u*K+k]
+					}
+				}
+			}
+			for _, k := range live {
+				dangling[k].Add(d[k])
+			}
+		})
+		for _, k := range live {
+			invNA := 1 / float64(na[k])
+			baseK[k] = opt.Alpha*invNA + (1-opt.Alpha)*dangling[k].Load()*invNA
+		}
+
+		// Pass 2 (by target): one sweep of the shared CSR advances all
+		// live windows.
+		loop(n, func(lo, hi int) {
+			acc := make([]float64, K)
+			dl := make([]float64, K)
+			for v := lo; v < hi; v++ {
+				for _, k := range live {
+					acc[k] = 0
+				}
+				start, end := mw.InRow[v], mw.InRow[v+1]
+				i := start
+				for i < end {
+					j := i + 1
+					c := mw.InCol[i]
+					for j < end && mw.InCol[j] == c {
+						j++
+					}
+					times := mw.InTime[i:j]
+					for _, k := range live {
+						if tcsr.RunActive(times, tsK[k], teK[k]) {
+							acc[k] += z[int(c)*K+k]
+						}
+					}
+					i = j
+				}
+				for k := 0; k < K; k++ {
+					if !isLive[k] {
+						// Keep converged windows' entries current so the
+						// array swap does not resurrect stale iterates.
+						y[v*K+k] = x[v*K+k]
+						continue
+					}
+					if !active[v*K+k] {
+						y[v*K+k] = 0
+						continue
+					}
+					nv := baseK[k] + (1-opt.Alpha)*acc[k]
+					dl[k] += math.Abs(nv - x[v*K+k])
+					y[v*K+k] = nv
+				}
+			}
+			for _, k := range live {
+				deltas[k].Add(dl[k])
+			}
+		})
+		x, y = y, x
+		next := live[:0]
+		for _, k := range live {
+			if deltas[k].Load() < opt.Tol {
+				results[k].Converged = true
+			} else {
+				next = append(next, k)
+			}
+		}
+		live = next
+	}
+
+	for k := 0; k < K; k++ {
+		ranks := make([]float64, n)
+		for v := 0; v < n; v++ {
+			ranks[v] = x[v*K+k]
+		}
+		results[k].ranks = ranks
+	}
+	return results
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"pmpr/internal/tcsr"
+)
+
+// windowState holds the per-window quantities a PageRank iteration
+// needs: inverse out-degrees (0 for dangling or absent vertices),
+// activity flags, and |V_i|.
+type windowState struct {
+	invdeg []float64
+	active []bool
+	na     int32
+}
+
+// computeWindowState fills the state for global window w of mw. The
+// degree pass runs over the out-CSR partitioned by source vertex; the
+// activity pass runs over the in-CSR partitioned by target vertex, so
+// both are race-free under loop.
+func computeWindowState(mw *tcsr.MultiWindow, w int, directed bool, loop forLoop) windowState {
+	n := int(mw.NumLocal())
+	ts, te := mw.Window(w)
+	st := windowState{
+		invdeg: make([]float64, n),
+		active: make([]bool, n),
+	}
+	loop(n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			start, end := mw.OutRow[u], mw.OutRow[u+1]
+			deg := 0
+			i := start
+			for i < end {
+				j := i + 1
+				for j < end && mw.OutCol[j] == mw.OutCol[i] {
+					j++
+				}
+				if tcsr.RunActive(mw.OutTime[i:j], ts, te) {
+					deg++
+				}
+				i = j
+			}
+			if deg > 0 {
+				st.invdeg[u] = 1 / float64(deg)
+			}
+		}
+	})
+	var na atomic.Int32
+	loop(n, func(lo, hi int) {
+		var cnt int32
+		for v := lo; v < hi; v++ {
+			act := st.invdeg[v] > 0
+			if !act && directed {
+				// A vertex with only in-edges is active too; scan its
+				// in-runs for one live edge.
+				start, end := mw.InRow[v], mw.InRow[v+1]
+				i := start
+				for i < end && !act {
+					j := i + 1
+					for j < end && mw.InCol[j] == mw.InCol[i] {
+						j++
+					}
+					act = tcsr.RunActive(mw.InTime[i:j], ts, te)
+					i = j
+				}
+			}
+			st.active[v] = act
+			if act {
+				cnt++
+			}
+		}
+		na.Add(cnt)
+	})
+	st.na = na.Load()
+	return st
+}
+
+// initVector fills x with the starting PageRank values: the partial
+// initialization of Eq. 4 when prev is available, otherwise the uniform
+// 1/|V_i| over active vertices. It reports whether partial
+// initialization was actually used (it falls back to uniform when the
+// windows share no active vertices).
+func initVector(x, prev []float64, st windowState, loop forLoop) bool {
+	n := len(x)
+	if st.na == 0 {
+		for v := range x {
+			x[v] = 0
+		}
+		return false
+	}
+	uniform := 1 / float64(st.na)
+	if prev == nil {
+		loop(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if st.active[v] {
+					x[v] = uniform
+				} else {
+					x[v] = 0
+				}
+			}
+		})
+		return false
+	}
+	// Eq. 4: shared vertices are scaled by |Vi ∩ Vi-1| / |Vi| and
+	// renormalized by their previous mass; vertices new to the window
+	// start at the uniform value, so the vector still sums to 1.
+	var sharedN atomic.Int64
+	var sharedSum atomicFloat64
+	loop(n, func(lo, hi int) {
+		var cnt int64
+		var sum float64
+		for v := lo; v < hi; v++ {
+			if st.active[v] && prev[v] > 0 {
+				cnt++
+				sum += prev[v]
+			}
+		}
+		sharedN.Add(cnt)
+		sharedSum.Add(sum)
+	})
+	shared, sum := sharedN.Load(), sharedSum.Load()
+	if shared == 0 || sum <= 0 {
+		loop(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if st.active[v] {
+					x[v] = uniform
+				} else {
+					x[v] = 0
+				}
+			}
+		})
+		return false
+	}
+	scale := float64(shared) / float64(st.na) / sum
+	loop(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			switch {
+			case !st.active[v]:
+				x[v] = 0
+			case prev[v] > 0:
+				x[v] = prev[v] * scale
+			default:
+				x[v] = uniform
+			}
+		}
+	})
+	return true
+}
+
+// solveWindow runs the SpMV-style PageRank on global window w of mw.
+// prev, when non-nil, is the predecessor window's rank vector in the
+// same multi-window local id space and enables partial initialization.
+func (e *Engine) solveWindow(mw *tcsr.MultiWindow, w int, prev []float64, loop forLoop) WindowResult {
+	n := int(mw.NumLocal())
+	st := computeWindowState(mw, w, e.cfg.Directed, loop)
+	res := WindowResult{Window: w, ActiveVertices: st.na, mw: mw}
+	x := make([]float64, n)
+	if st.na == 0 {
+		res.Converged = true
+		res.ranks = x
+		return res
+	}
+	res.UsedPartialInit = initVector(x, prev, st, loop)
+
+	y := make([]float64, n)
+	z := make([]float64, n)
+	ts, te := mw.Window(w)
+	opt := e.cfg.Opts
+	invNA := 1 / float64(st.na)
+
+	for it := 0; it < opt.MaxIter; it++ {
+		res.Iterations = it + 1
+		// Pass 1 (by source): scale ranks by inverse out-degree and
+		// collect dangling mass.
+		var danglingAcc atomicFloat64
+		loop(n, func(lo, hi int) {
+			var d float64
+			for u := lo; u < hi; u++ {
+				z[u] = x[u] * st.invdeg[u]
+				if st.active[u] && st.invdeg[u] == 0 {
+					d += x[u]
+				}
+			}
+			danglingAcc.Add(d)
+		})
+		base := opt.Alpha*invNA + (1-opt.Alpha)*danglingAcc.Load()*invNA
+
+		// Pass 2 (by target): pull contributions along active runs.
+		var deltaAcc atomicFloat64
+		inRow, inCol, inTime := mw.InRow, mw.InCol, mw.InTime
+		loop(n, func(lo, hi int) {
+			var delta float64
+			for v := lo; v < hi; v++ {
+				if !st.active[v] {
+					y[v] = 0
+					continue
+				}
+				var acc float64
+				i, end := inRow[v], inRow[v+1]
+				for i < end {
+					j := i + 1
+					c := inCol[i]
+					for j < end && inCol[j] == c {
+						j++
+					}
+					if tcsr.RunActive(inTime[i:j], ts, te) {
+						acc += z[c]
+					}
+					i = j
+				}
+				nv := base + (1-opt.Alpha)*acc
+				delta += math.Abs(nv - x[v])
+				y[v] = nv
+			}
+			deltaAcc.Add(delta)
+		})
+		x, y = y, x
+		if deltaAcc.Load() < opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.ranks = x
+	return res
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"pmpr/internal/sched"
+)
+
+// forLoop abstracts "run body over [0, n)" so each kernel is written
+// once and executed serially (window-level mode), on the pool
+// (app-level mode), or on the calling worker (nested mode).
+type forLoop func(n int, body func(lo, hi int))
+
+func serialLoop(n int, body func(lo, hi int)) {
+	if n > 0 {
+		body(0, n)
+	}
+}
+
+func poolLoop(p *sched.Pool, grain int, part sched.Partitioner) forLoop {
+	return func(n int, body func(lo, hi int)) {
+		p.ParallelFor(n, grain, part, func(_ *sched.Worker, lo, hi int) { body(lo, hi) })
+	}
+}
+
+func workerLoop(w *sched.Worker, grain int, part sched.Partitioner) forLoop {
+	return func(n int, body func(lo, hi int)) {
+		w.ParallelFor(n, grain, part, func(_ *sched.Worker, lo, hi int) { body(lo, hi) })
+	}
+}
+
+// atomicFloat64 is an accumulator safe for concurrent leaf reductions.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat64) Add(delta float64) {
+	if delta == 0 {
+		return
+	}
+	for {
+		old := a.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat64) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+func (a *atomicFloat64) Store(v float64) { a.bits.Store(math.Float64bits(v)) }

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pmpr/internal/events"
+	"pmpr/internal/tcsr"
+)
+
+// WindowResult holds the PageRank outcome for one window of the
+// sequence.
+type WindowResult struct {
+	// Window is the global window index.
+	Window int
+	// Iterations performed until convergence (or MaxIter).
+	Iterations int
+	// Converged reports whether the kernel reached the tolerance.
+	Converged bool
+	// ActiveVertices is |V_i| of the window graph.
+	ActiveVertices int32
+	// UsedPartialInit reports whether this window warm-started from its
+	// predecessor (Eq. 4) rather than the uniform vector.
+	UsedPartialInit bool
+
+	ranks []float64 // local-id ranks; nil when discarded
+	mw    *tcsr.MultiWindow
+}
+
+// Rank returns the PageRank of the global vertex id in this window; 0
+// for vertices outside the window graph. It panics if the ranks were
+// discarded (Config.DiscardRanks).
+func (r *WindowResult) Rank(global int32) float64 {
+	if r.ranks == nil {
+		panic("core: ranks were discarded (Config.DiscardRanks)")
+	}
+	local := r.mw.LocalID(global)
+	if local < 0 {
+		return 0
+	}
+	return r.ranks[local]
+}
+
+// HasRanks reports whether the rank vector was retained.
+func (r *WindowResult) HasRanks() bool { return r.ranks != nil }
+
+// ForEach calls f for every vertex with a positive rank, in ascending
+// global-id order.
+func (r *WindowResult) ForEach(f func(global int32, rank float64)) {
+	if r.ranks == nil {
+		panic("core: ranks were discarded (Config.DiscardRanks)")
+	}
+	for local, rank := range r.ranks {
+		if rank > 0 {
+			f(r.mw.GlobalID(int32(local)), rank)
+		}
+	}
+}
+
+// Dense expands the window's ranks to a dense vector over the global
+// vertex universe.
+func (r *WindowResult) Dense(numVertices int32) []float64 {
+	out := make([]float64, numVertices)
+	r.ForEach(func(g int32, rank float64) { out[g] = rank })
+	return out
+}
+
+// Ranked is a (vertex, rank) pair.
+type Ranked struct {
+	Vertex int32
+	Rank   float64
+}
+
+// TopK returns the k highest-ranked vertices of the window, descending
+// by rank with ascending vertex id as the tie-break.
+func (r *WindowResult) TopK(k int) []Ranked {
+	var all []Ranked
+	r.ForEach(func(g int32, rank float64) { all = append(all, Ranked{g, rank}) })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Rank != all[j].Rank {
+			return all[i].Rank > all[j].Rank
+		}
+		return all[i].Vertex < all[j].Vertex
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// Series is the postmortem analysis output: one WindowResult per window
+// of the sliding sequence.
+type Series struct {
+	Spec        events.WindowSpec
+	NumVertices int32
+	Results     []WindowResult
+}
+
+// Window returns the result for window i.
+func (s *Series) Window(i int) *WindowResult { return &s.Results[i] }
+
+// Len returns the number of windows.
+func (s *Series) Len() int { return len(s.Results) }
+
+// TotalIterations sums the PageRank iterations over all windows — the
+// work measure partial initialization reduces.
+func (s *Series) TotalIterations() int {
+	t := 0
+	for i := range s.Results {
+		t += s.Results[i].Iterations
+	}
+	return t
+}
+
+// AllConverged reports whether every window reached the tolerance.
+func (s *Series) AllConverged() bool {
+	for i := range s.Results {
+		if !s.Results[i].Converged {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Series) String() string {
+	return fmt.Sprintf("series{windows=%d iterations=%d converged=%v}",
+		s.Len(), s.TotalIterations(), s.AllConverged())
+}

@@ -1,0 +1,140 @@
+// Package csr implements static compressed-sparse-row graphs, the
+// substrate of the offline execution model (paper Sec. 3.3.1) and of
+// the reference PageRank kernels used as correctness oracles.
+//
+// A Graph stores out-adjacency in the usual (Row, Col) pair plus the
+// in-adjacency of the same edge set (needed by pull-style PageRank) and
+// per-vertex out-degrees over the deduplicated edge set.
+package csr
+
+import (
+	"fmt"
+	"sort"
+
+	"pmpr/internal/events"
+)
+
+// Graph is a static directed graph in CSR form over vertices
+// [0, NumVertices). Parallel edges are removed at construction: the
+// sliding-window model treats an edge as present when at least one of
+// its events lies in the window, so window graphs are simple graphs.
+type Graph struct {
+	n int32
+
+	// Out-adjacency: out-neighbors of u are OutCol[OutRow[u]:OutRow[u+1]],
+	// sorted ascending.
+	OutRow []int64
+	OutCol []int32
+
+	// In-adjacency of the same edges: in-neighbors of v are
+	// InCol[InRow[v]:InRow[v+1]], sorted ascending.
+	InRow []int64
+	InCol []int32
+}
+
+// NumVertices returns the size of the vertex universe.
+func (g *Graph) NumVertices() int32 { return g.n }
+
+// NumEdges returns the number of (deduplicated) directed edges.
+func (g *Graph) NumEdges() int64 { return int64(len(g.OutCol)) }
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u int32) int64 { return g.OutRow[u+1] - g.OutRow[u] }
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v int32) int64 { return g.InRow[v+1] - g.InRow[v] }
+
+// OutNeighbors returns the sorted out-neighbor slice of u (read-only).
+func (g *Graph) OutNeighbors(u int32) []int32 { return g.OutCol[g.OutRow[u]:g.OutRow[u+1]] }
+
+// InNeighbors returns the sorted in-neighbor slice of v (read-only).
+func (g *Graph) InNeighbors(v int32) []int32 { return g.InCol[g.InRow[v]:g.InRow[v+1]] }
+
+// Active reports whether vertex v is incident to at least one edge.
+func (g *Graph) Active(v int32) bool {
+	return g.OutDegree(v) > 0 || g.InDegree(v) > 0
+}
+
+// ActiveCount returns |V_i|: the number of vertices incident to at
+// least one edge.
+func (g *Graph) ActiveCount() int32 {
+	var c int32
+	for v := int32(0); v < g.n; v++ {
+		if g.Active(v) {
+			c++
+		}
+	}
+	return c
+}
+
+// FromEvents builds the window graph induced by evs over numVertices
+// vertices. Duplicate (u, v) pairs collapse to a single edge; the
+// timestamps are ignored (the caller has already selected the window's
+// events, e.g. with Log.Slice). This is exactly the per-window rebuild
+// the offline model pays for.
+func FromEvents(evs []events.Event, numVertices int32) (*Graph, error) {
+	if numVertices < 0 {
+		return nil, fmt.Errorf("csr: negative vertex count %d", numVertices)
+	}
+	for i, e := range evs {
+		if e.U < 0 || e.U >= numVertices || e.V < 0 || e.V >= numVertices {
+			return nil, fmt.Errorf("csr: event %d (%d -> %d) out of range [0, %d)", i, e.U, e.V, numVertices)
+		}
+	}
+	g := &Graph{n: numVertices}
+	g.OutRow, g.OutCol = buildSide(evs, numVertices, false)
+	g.InRow, g.InCol = buildSide(evs, numVertices, true)
+	return g, nil
+}
+
+// buildSide builds one CSR side with a counting sort by source (or by
+// target when reversed), then sorts and deduplicates each adjacency run.
+func buildSide(evs []events.Event, n int32, reversed bool) ([]int64, []int32) {
+	row := make([]int64, n+1)
+	for _, e := range evs {
+		src := e.U
+		if reversed {
+			src = e.V
+		}
+		row[src+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		row[i+1] += row[i]
+	}
+	col := make([]int32, len(evs))
+	next := make([]int64, n)
+	for i := int32(0); i < n; i++ {
+		next[i] = row[i]
+	}
+	for _, e := range evs {
+		src, dst := e.U, e.V
+		if reversed {
+			src, dst = dst, src
+		}
+		col[next[src]] = dst
+		next[src]++
+	}
+	// Sort and deduplicate each run, compacting in place.
+	w := int64(0)
+	newRow := make([]int64, n+1)
+	for u := int32(0); u < n; u++ {
+		run := col[row[u]:row[u+1]]
+		sort.Slice(run, func(i, j int) bool { return run[i] < run[j] })
+		newRow[u] = w
+		var prev int32 = -1
+		for _, v := range run {
+			if v != prev {
+				col[w] = v
+				w++
+				prev = v
+			}
+		}
+	}
+	newRow[n] = w
+	return newRow, col[:w:w]
+}
+
+// FromLogWindow builds the graph of window [ts, te] of the log.
+func FromLogWindow(l *events.Log, ts, te int64) (*Graph, error) {
+	return FromEvents(l.Slice(ts, te), l.NumVertices())
+}

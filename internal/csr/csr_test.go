@@ -1,0 +1,184 @@
+package csr
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pmpr/internal/events"
+)
+
+func ev(u, v int32, t int64) events.Event { return events.Event{U: u, V: v, T: t} }
+
+func TestFromEventsSmall(t *testing.T) {
+	g, err := FromEvents([]events.Event{
+		ev(0, 1, 1),
+		ev(0, 2, 2),
+		ev(1, 2, 3),
+		ev(0, 1, 9), // duplicate edge, later event
+	}, 4)
+	if err != nil {
+		t.Fatalf("FromEvents: %v", err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3 (duplicates removed)", g.NumEdges())
+	}
+	if got := g.OutNeighbors(0); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Fatalf("OutNeighbors(0) = %v", got)
+	}
+	if got := g.InNeighbors(2); !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Fatalf("InNeighbors(2) = %v", got)
+	}
+	if g.OutDegree(3) != 0 || g.InDegree(3) != 0 || g.Active(3) {
+		t.Fatal("isolated vertex 3 should be inactive with zero degrees")
+	}
+	if g.ActiveCount() != 3 {
+		t.Fatalf("ActiveCount = %d, want 3", g.ActiveCount())
+	}
+}
+
+func TestFromEventsEmpty(t *testing.T) {
+	g, err := FromEvents(nil, 5)
+	if err != nil {
+		t.Fatalf("FromEvents: %v", err)
+	}
+	if g.NumEdges() != 0 || g.ActiveCount() != 0 {
+		t.Fatal("empty graph should have no edges and no active vertices")
+	}
+	for v := int32(0); v < 5; v++ {
+		if len(g.OutNeighbors(v)) != 0 {
+			t.Fatalf("vertex %d has phantom neighbors", v)
+		}
+	}
+}
+
+func TestFromEventsRejectsOutOfRange(t *testing.T) {
+	if _, err := FromEvents([]events.Event{ev(0, 5, 1)}, 5); err == nil {
+		t.Fatal("target id == numVertices accepted")
+	}
+	if _, err := FromEvents([]events.Event{ev(-1, 0, 1)}, 5); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := FromEvents(nil, -1); err == nil {
+		t.Fatal("negative vertex count accepted")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g, err := FromEvents([]events.Event{ev(2, 2, 1)}, 3)
+	if err != nil {
+		t.Fatalf("FromEvents: %v", err)
+	}
+	if g.OutDegree(2) != 1 || g.InDegree(2) != 1 {
+		t.Fatal("self-loop should appear once in each direction")
+	}
+	if !g.Active(2) || g.ActiveCount() != 1 {
+		t.Fatal("self-loop vertex should be active")
+	}
+}
+
+// naiveEdges builds the deduplicated edge set with maps.
+func naiveEdges(evs []events.Event) map[[2]int32]bool {
+	m := make(map[[2]int32]bool)
+	for _, e := range evs {
+		m[[2]int32{e.U, e.V}] = true
+	}
+	return m
+}
+
+func TestFromEventsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := int32(rng.Intn(40) + 1)
+		evs := make([]events.Event, rng.Intn(300))
+		for i := range evs {
+			evs[i] = ev(int32(rng.Intn(int(n))), int32(rng.Intn(int(n))), int64(i))
+		}
+		g, err := FromEvents(evs, n)
+		if err != nil {
+			t.Fatalf("FromEvents: %v", err)
+		}
+		want := naiveEdges(evs)
+		if g.NumEdges() != int64(len(want)) {
+			t.Fatalf("trial %d: NumEdges = %d, want %d", trial, g.NumEdges(), len(want))
+		}
+		for u := int32(0); u < n; u++ {
+			ns := g.OutNeighbors(u)
+			if !sort.SliceIsSorted(ns, func(i, j int) bool { return ns[i] < ns[j] }) {
+				t.Fatalf("trial %d: OutNeighbors(%d) unsorted: %v", trial, u, ns)
+			}
+			for _, v := range ns {
+				if !want[[2]int32{u, v}] {
+					t.Fatalf("trial %d: phantom edge %d -> %d", trial, u, v)
+				}
+			}
+		}
+		// Every naive edge appears, and in-adjacency mirrors it.
+		for e := range want {
+			found := false
+			for _, v := range g.OutNeighbors(e[0]) {
+				if v == e[1] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: missing edge %v", trial, e)
+			}
+			found = false
+			for _, u := range g.InNeighbors(e[1]) {
+				if u == e[0] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: missing in-edge %v", trial, e)
+			}
+		}
+	}
+}
+
+func TestInOutEdgeCountsAgreeQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		n := int32(17)
+		evs := make([]events.Event, len(raw))
+		for i, r := range raw {
+			evs[i] = ev(int32(r%uint32(n)), int32(r/31%uint32(n)), int64(i))
+		}
+		g, err := FromEvents(evs, n)
+		if err != nil {
+			return false
+		}
+		if int64(len(g.InCol)) != g.NumEdges() {
+			return false
+		}
+		var sumOut, sumIn int64
+		for v := int32(0); v < n; v++ {
+			sumOut += g.OutDegree(v)
+			sumIn += g.InDegree(v)
+		}
+		return sumOut == g.NumEdges() && sumIn == g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromLogWindow(t *testing.T) {
+	l, err := events.NewLog([]events.Event{
+		ev(0, 1, 10), ev(1, 2, 20), ev(2, 3, 30),
+	}, 0)
+	if err != nil {
+		t.Fatalf("NewLog: %v", err)
+	}
+	g, err := FromLogWindow(l, 15, 25)
+	if err != nil {
+		t.Fatalf("FromLogWindow: %v", err)
+	}
+	if g.NumEdges() != 1 || g.OutDegree(1) != 1 {
+		t.Fatalf("window [15,25] should contain exactly edge 1->2; got %d edges", g.NumEdges())
+	}
+}

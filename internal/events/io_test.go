@@ -1,0 +1,135 @@
+package events
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func randomLog(t *testing.T, seed int64, n int) *Log {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]Event, n)
+	tcur := int64(rng.Intn(1000))
+	for i := range evs {
+		tcur += int64(rng.Intn(10))
+		evs[i] = Event{U: int32(rng.Intn(100)), V: int32(rng.Intn(100)), T: tcur}
+	}
+	return mustLog(t, evs, 128)
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	l := randomLog(t, 1, 250)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, l); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if !reflect.DeepEqual(got.Events(), l.Events()) {
+		t.Fatal("text round trip changed events")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	l := randomLog(t, 2, 1000)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, l); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !reflect.DeepEqual(got.Events(), l.Events()) {
+		t.Fatal("binary round trip changed events")
+	}
+	if got.NumVertices() != l.NumVertices() {
+		t.Fatalf("NumVertices %d -> %d", l.NumVertices(), got.NumVertices())
+	}
+}
+
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	l := mustLog(t, nil, 7)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, l); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if got.Len() != 0 || got.NumVertices() != 7 {
+		t.Fatalf("got len=%d n=%d", got.Len(), got.NumVertices())
+	}
+}
+
+func TestReadTextSkipsCommentsAndSortsUnsorted(t *testing.T) {
+	in := `# header comment
+% another comment style
+
+3 4 50
+1 2 10
+`
+	l, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	want := []Event{{U: 1, V: 2, T: 10}, {U: 3, V: 4, T: 50}}
+	if !reflect.DeepEqual(l.Events(), want) {
+		t.Fatalf("got %v, want %v", l.Events(), want)
+	}
+}
+
+func TestReadTextRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"1 2",             // missing timestamp
+		"a 2 3",           // non-numeric source
+		"1 b 3",           // non-numeric target
+		"1 2 c",           // non-numeric time
+		"1 2 3.5",         // float time
+		"99999999999 2 3", // overflows int32
+	}
+	for _, in := range bad {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("malformed line %q accepted", in)
+		}
+	}
+}
+
+func TestReadBinaryRejectsCorrupt(t *testing.T) {
+	l := randomLog(t, 3, 10)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, l); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	full := buf.Bytes()
+
+	if _, err := ReadBinary(bytes.NewReader([]byte("JUNKJUNKJUNKJUNKJUNK"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(full[:len(full)-5])); err == nil {
+		t.Error("truncated body accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(full[:10])); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Corrupt the version field.
+	bad := append([]byte(nil), full...)
+	bad[4] = 0xFF
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Implausible count.
+	bad2 := append([]byte(nil), full...)
+	for i := 12; i < 20; i++ {
+		bad2[i] = 0xFF
+	}
+	if _, err := ReadBinary(bytes.NewReader(bad2)); err == nil {
+		t.Error("implausible count accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package events
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowSpecValidate(t *testing.T) {
+	good := WindowSpec{T0: 0, Delta: 10, Slide: 5, Count: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []WindowSpec{
+		{Delta: -1, Slide: 1, Count: 1},
+		{Delta: 1, Slide: 0, Count: 1},
+		{Delta: 1, Slide: -3, Count: 1},
+		{Delta: 1, Slide: 1, Count: 0},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, w)
+		}
+	}
+}
+
+func TestWindowIntervals(t *testing.T) {
+	w := WindowSpec{T0: 100, Delta: 30, Slide: 10, Count: 4}
+	wantStarts := []int64{100, 110, 120, 130}
+	for i, s := range wantStarts {
+		if got := w.Start(i); got != s {
+			t.Errorf("Start(%d) = %d, want %d", i, got, s)
+		}
+		if got := w.End(i); got != s+30 {
+			t.Errorf("End(%d) = %d, want %d", i, got, s+30)
+		}
+	}
+	if got := w.SpanEnd(); got != 160 {
+		t.Fatalf("SpanEnd = %d, want 160", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	w := WindowSpec{T0: 0, Delta: 10, Slide: 4, Count: 5}
+	if !w.Contains(0, 0) || !w.Contains(0, 10) {
+		t.Fatal("window bounds should be inclusive")
+	}
+	if w.Contains(0, 11) || w.Contains(1, 3) {
+		t.Fatal("Contains accepted out-of-window timestamps")
+	}
+}
+
+func TestCoveringMatchesContains(t *testing.T) {
+	specs := []WindowSpec{
+		{T0: 0, Delta: 10, Slide: 4, Count: 8},   // overlapping windows
+		{T0: 50, Delta: 3, Slide: 7, Count: 6},   // gaps (slide > delta)
+		{T0: -20, Delta: 5, Slide: 5, Count: 4},  // negative origin, tiling
+		{T0: 0, Delta: 0, Slide: 1, Count: 10},   // instantaneous windows
+		{T0: 7, Delta: 100, Slide: 1, Count: 30}, // heavily overlapping
+	}
+	for _, w := range specs {
+		for t64 := w.T0 - 15; t64 <= w.SpanEnd()+15; t64++ {
+			lo, hi, ok := w.Covering(t64)
+			// Oracle: linear scan over windows.
+			oLo, oHi := -1, -1
+			for i := 0; i < w.Count; i++ {
+				if w.Contains(i, t64) {
+					if oLo < 0 {
+						oLo = i
+					}
+					oHi = i
+				}
+			}
+			if (oLo >= 0) != ok {
+				t.Fatalf("%v Covering(%d): ok=%v, oracle found=%v", w, t64, ok, oLo >= 0)
+			}
+			if ok && (lo != oLo || hi != oHi) {
+				t.Fatalf("%v Covering(%d) = [%d,%d], oracle [%d,%d]", w, t64, lo, hi, oLo, oHi)
+			}
+			// Covering ranges are contiguous for a fixed t: verify no
+			// window strictly inside [lo,hi] misses t.
+			if ok {
+				for i := lo; i <= hi; i++ {
+					if !w.Contains(i, t64) {
+						t.Fatalf("%v Covering(%d) includes window %d which does not contain t", w, t64, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCoveringQuick(t *testing.T) {
+	f := func(t0 int16, deltaRaw, slideRaw uint8, countRaw uint8, off int16) bool {
+		w := WindowSpec{
+			T0:    int64(t0),
+			Delta: int64(deltaRaw % 50),
+			Slide: int64(slideRaw%20) + 1,
+			Count: int(countRaw%40) + 1,
+		}
+		tt := w.T0 + int64(off)
+		lo, hi, ok := w.Covering(tt)
+		any := false
+		for i := 0; i < w.Count; i++ {
+			if w.Contains(i, tt) {
+				if !ok || i < lo || i > hi {
+					return false
+				}
+				any = true
+			} else if ok && i >= lo && i <= hi {
+				return false
+			}
+		}
+		return any == ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSub(t *testing.T) {
+	w := WindowSpec{T0: 100, Delta: 30, Slide: 10, Count: 20}
+	s := w.Sub(5, 12)
+	if s.Count != 7 {
+		t.Fatalf("Sub count = %d, want 7", s.Count)
+	}
+	for i := 0; i < s.Count; i++ {
+		if s.Start(i) != w.Start(5+i) || s.End(i) != w.End(5+i) {
+			t.Fatalf("Sub window %d = [%d,%d], want [%d,%d]",
+				i, s.Start(i), s.End(i), w.Start(5+i), w.End(5+i))
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	l := mustLog(t, []Event{
+		{U: 0, V: 1, T: 100},
+		{U: 1, V: 2, T: 150},
+		{U: 2, V: 3, T: 199},
+	}, 0)
+	w, err := Span(l, 30, 10)
+	if err != nil {
+		t.Fatalf("Span: %v", err)
+	}
+	if w.T0 != 100 {
+		t.Fatalf("T0 = %d, want 100", w.T0)
+	}
+	// Last window must start at or before the last event (199):
+	// starts 100,110,...,190 -> 10 windows.
+	if w.Count != 10 {
+		t.Fatalf("Count = %d, want 10", w.Count)
+	}
+	if _, err := Span(mustLog(t, nil, 0), 30, 10); err == nil {
+		t.Fatal("Span accepted an empty log")
+	}
+	if _, err := Span(l, 30, 0); err == nil {
+		t.Fatal("Span accepted slide=0")
+	}
+}
+
+func TestSpanCoversAllEventsWhenTiling(t *testing.T) {
+	// With slide <= delta every event of the log lies in some window.
+	rng := rand.New(rand.NewSource(7))
+	evs := make([]Event, 300)
+	tcur := int64(1000)
+	for i := range evs {
+		tcur += int64(rng.Intn(20))
+		evs[i] = Event{U: int32(rng.Intn(30)), V: int32(rng.Intn(30)), T: tcur}
+	}
+	l := mustLog(t, evs, 0)
+	w, err := Span(l, 50, 25)
+	if err != nil {
+		t.Fatalf("Span: %v", err)
+	}
+	for _, e := range evs {
+		if _, _, ok := w.Covering(e.T); !ok {
+			t.Fatalf("event at t=%d not covered by %v", e.T, w)
+		}
+	}
+}
+
+func TestSpanCount(t *testing.T) {
+	l := mustLog(t, []Event{{U: 0, V: 1, T: 100}}, 0)
+	w, err := SpanCount(l, 10, 5, 64)
+	if err != nil {
+		t.Fatalf("SpanCount: %v", err)
+	}
+	if w.Count != 64 || w.T0 != 100 {
+		t.Fatalf("got %+v", w)
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct {
+		a, b, floor, ceil int64
+	}{
+		{7, 2, 3, 4},
+		{-7, 2, -4, -3},
+		{6, 3, 2, 2},
+		{-6, 3, -2, -2},
+		{0, 5, 0, 0},
+		{1, 5, 0, 1},
+		{-1, 5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}
+
+func TestWindowSpecString(t *testing.T) {
+	w := WindowSpec{T0: 5, Delta: 10, Slide: 3, Count: 4}
+	if s := w.String(); s != "windows{t0=5 delta=10 sw=3 count=4}" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestIntervalConsistencyQuick(t *testing.T) {
+	f := func(t0 int32, d, sl uint16, c uint8) bool {
+		w := WindowSpec{
+			T0:    int64(t0),
+			Delta: int64(d),
+			Slide: int64(sl%500) + 1,
+			Count: int(c%50) + 1,
+		}
+		for i := 0; i < w.Count; i++ {
+			ts, te := w.Interval(i)
+			if te-ts != w.Delta {
+				return false
+			}
+			if i > 0 && ts-w.Start(i-1) != w.Slide {
+				return false
+			}
+		}
+		return w.SpanEnd() == w.End(w.Count-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

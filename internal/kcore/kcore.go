@@ -1,0 +1,245 @@
+// Package kcore computes the k-core decomposition of every window of a
+// temporal graph, postmortem-style — another of the analyses the paper
+// lists for the sliding-window model (Sec. 3.1; cf. Gabert et al.'s
+// postmortem dense-region analysis cited there). It reuses the
+// multi-window temporal CSR and window-level parallelism.
+//
+// Each window is solved with the classic linear-time peeling algorithm
+// (Batagelj–Zaveršnik bucket ordering) over the deduplicated undirected
+// window view.
+package kcore
+
+import (
+	"fmt"
+
+	"pmpr/internal/events"
+	"pmpr/internal/sched"
+	"pmpr/internal/tcsr"
+)
+
+// Config controls a k-core run.
+type Config struct {
+	// NumMultiWindows partitions the window sequence (see tcsr.Build).
+	NumMultiWindows int
+	// BalancedPartition splits by event load instead of uniformly.
+	BalancedPartition bool
+	// Directed controls the representation build; coreness always uses
+	// the undirected view.
+	Directed bool
+	// Partitioner and Grain configure the window-level loop.
+	Partitioner sched.Partitioner
+	Grain       int
+	// KeepCoreness retains each window's full coreness vector.
+	KeepCoreness bool
+}
+
+// DefaultConfig mirrors the PageRank engine's defaults.
+func DefaultConfig() Config {
+	return Config{NumMultiWindows: 6, Partitioner: sched.Auto, Grain: 2}
+}
+
+// WindowResult summarizes one window's core structure.
+type WindowResult struct {
+	Window         int
+	ActiveVertices int32
+	// MaxCore is the degeneracy of the window graph.
+	MaxCore int32
+	// MaxCoreSize is the number of vertices in the innermost core.
+	MaxCoreSize int32
+
+	coreness []int32 // per-local-vertex coreness, -1 inactive
+	mw       *tcsr.MultiWindow
+}
+
+// Coreness returns the coreness of the global vertex in this window, or
+// -1 when inactive or not kept.
+func (r *WindowResult) Coreness(global int32) int32 {
+	if r.coreness == nil {
+		return -1
+	}
+	local := r.mw.LocalID(global)
+	if local < 0 {
+		return -1
+	}
+	return r.coreness[local]
+}
+
+// Series is the per-window core summary sequence.
+type Series struct {
+	Spec    events.WindowSpec
+	Results []WindowResult
+}
+
+// Window returns the result for window i.
+func (s *Series) Window(i int) *WindowResult { return &s.Results[i] }
+
+// Len returns the number of windows.
+func (s *Series) Len() int { return len(s.Results) }
+
+// Engine computes the series.
+type Engine struct {
+	tg   *tcsr.Temporal
+	cfg  Config
+	pool *sched.Pool
+}
+
+// NewEngine builds the temporal representation for l under spec.
+func NewEngine(l *events.Log, spec events.WindowSpec, cfg Config, pool *sched.Pool) (*Engine, error) {
+	if cfg.NumMultiWindows < 1 {
+		return nil, fmt.Errorf("kcore: NumMultiWindows %d must be >= 1", cfg.NumMultiWindows)
+	}
+	build := tcsr.Build
+	if cfg.BalancedPartition {
+		build = tcsr.BuildBalanced
+	}
+	tg, err := build(l, spec, cfg.NumMultiWindows, cfg.Directed)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{tg: tg, cfg: cfg, pool: pool}, nil
+}
+
+// NewEngineFromTemporal reuses an existing representation.
+func NewEngineFromTemporal(tg *tcsr.Temporal, cfg Config, pool *sched.Pool) (*Engine, error) {
+	if tg == nil {
+		return nil, fmt.Errorf("kcore: nil temporal representation")
+	}
+	return &Engine{tg: tg, cfg: cfg, pool: pool}, nil
+}
+
+// Temporal exposes the representation.
+func (e *Engine) Temporal() *tcsr.Temporal { return e.tg }
+
+// Run computes the decomposition for every window; windows run in
+// parallel on the pool, serially with a nil pool.
+func (e *Engine) Run() (*Series, error) {
+	count := e.tg.Spec.Count
+	results := make([]WindowResult, count)
+	body := func(lo, hi int) {
+		var view tcsr.WindowView
+		var p peeler
+		for w := lo; w < hi; w++ {
+			results[w] = e.solveWindow(w, &view, &p)
+		}
+	}
+	if e.pool == nil {
+		body(0, count)
+	} else {
+		grain := e.cfg.Grain
+		if grain < 1 {
+			grain = 1
+		}
+		e.pool.ParallelFor(count, grain, e.cfg.Partitioner, func(_ *sched.Worker, lo, hi int) {
+			body(lo, hi)
+		})
+	}
+	return &Series{Spec: e.tg.Spec, Results: results}, nil
+}
+
+func (e *Engine) solveWindow(w int, view *tcsr.WindowView, p *peeler) WindowResult {
+	mw := e.tg.ForWindow(w)
+	mw.Materialize(w, view)
+	res := WindowResult{Window: w, ActiveVertices: view.NumActive, mw: mw}
+	core := p.run(view)
+	var maxCore, maxSize int32
+	for v := range core {
+		if !view.Active[v] {
+			continue
+		}
+		switch {
+		case core[v] > maxCore:
+			maxCore = core[v]
+			maxSize = 1
+		case core[v] == maxCore:
+			maxSize++
+		}
+	}
+	res.MaxCore = maxCore
+	res.MaxCoreSize = maxSize
+	if e.cfg.KeepCoreness {
+		res.coreness = make([]int32, len(core))
+		copy(res.coreness, core)
+	}
+	return res
+}
+
+// peeler implements Batagelj–Zaveršnik peeling with reusable buffers.
+type peeler struct {
+	deg   []int32
+	core  []int32
+	pos   []int32 // position of vertex in order
+	order []int32 // vertices sorted by current degree
+	bin   []int32 // start index of each degree bucket in order
+}
+
+// run computes coreness per local vertex (-1 for inactive vertices).
+func (p *peeler) run(view *tcsr.WindowView) []int32 {
+	n := len(view.Active)
+	if cap(p.deg) < n {
+		p.deg = make([]int32, n)
+		p.core = make([]int32, n)
+		p.pos = make([]int32, n)
+		p.order = make([]int32, n)
+	}
+	p.deg = p.deg[:n]
+	p.core = p.core[:n]
+	p.pos = p.pos[:n]
+	p.order = p.order[:n]
+
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		d := int32(view.Row[v+1] - view.Row[v])
+		p.deg[v] = d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if cap(p.bin) < int(maxDeg)+2 {
+		p.bin = make([]int32, maxDeg+2)
+	}
+	p.bin = p.bin[:maxDeg+2]
+	for i := range p.bin {
+		p.bin[i] = 0
+	}
+	for v := 0; v < n; v++ {
+		p.bin[p.deg[v]+1]++
+	}
+	for d := int32(1); d < int32(len(p.bin)); d++ {
+		p.bin[d] += p.bin[d-1]
+	}
+	// bin[d] = first index of degree-d vertices in order.
+	next := make([]int32, len(p.bin))
+	copy(next, p.bin)
+	for v := 0; v < n; v++ {
+		p.pos[v] = next[p.deg[v]]
+		p.order[p.pos[v]] = int32(v)
+		next[p.deg[v]]++
+	}
+
+	for i := 0; i < n; i++ {
+		v := p.order[i]
+		p.core[v] = p.deg[v]
+		for _, u := range view.Col[view.Row[v]:view.Row[v+1]] {
+			if p.deg[u] > p.deg[v] {
+				// Move u one bucket down: swap with the first vertex of
+				// its bucket, then shrink the bucket.
+				du := p.deg[u]
+				pu := p.pos[u]
+				pw := p.bin[du]
+				wv := p.order[pw]
+				if u != wv {
+					p.order[pu], p.order[pw] = wv, u
+					p.pos[u], p.pos[wv] = pw, pu
+				}
+				p.bin[du]++
+				p.deg[u]--
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !view.Active[v] {
+			p.core[v] = -1
+		}
+	}
+	return p.core
+}

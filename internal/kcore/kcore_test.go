@@ -1,0 +1,212 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmpr/internal/events"
+	"pmpr/internal/sched"
+)
+
+func ev(u, v int32, t int64) events.Event { return events.Event{U: u, V: v, T: t} }
+
+func randomLog(t *testing.T, seed int64, n int32, m int, span int64) *events.Log {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]events.Event, m)
+	tcur := int64(0)
+	for i := range evs {
+		tcur += rng.Int63n(span/int64(m) + 1)
+		evs[i] = ev(int32(rng.Intn(int(n))), int32(rng.Intn(int(n))), tcur)
+	}
+	l, err := events.NewLog(evs, n)
+	if err != nil {
+		t.Fatalf("NewLog: %v", err)
+	}
+	return l
+}
+
+// naiveCoreness computes coreness of the undirected deduplicated window
+// graph by repeated minimum-degree removal.
+func naiveCoreness(l *events.Log, ts, te int64) map[int32]int32 {
+	adj := make(map[int32]map[int32]bool)
+	add := func(a, b int32) {
+		if adj[a] == nil {
+			adj[a] = make(map[int32]bool)
+		}
+		adj[a][b] = true
+	}
+	for _, e := range l.Slice(ts, te) {
+		add(e.U, e.V)
+		add(e.V, e.U)
+	}
+	core := make(map[int32]int32)
+	k := int32(0)
+	for len(adj) > 0 {
+		// Remove all vertices with degree <= k until none remain, then
+		// increase k.
+		removedAny := true
+		for removedAny {
+			removedAny = false
+			for v, ns := range adj {
+				if int32(len(ns)) <= k {
+					core[v] = k
+					for u := range ns {
+						delete(adj[u], v)
+						if len(adj[u]) == 0 && u != v {
+							core[u] = k
+							delete(adj, u)
+						}
+					}
+					delete(adj, v)
+					removedAny = true
+				}
+			}
+		}
+		k++
+	}
+	return core
+}
+
+func TestCorenessMatchesOracle(t *testing.T) {
+	pool := sched.NewPool(3)
+	defer pool.Close()
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		n := int32(rng.Intn(35) + 3)
+		l := randomLog(t, int64(600+trial), n, rng.Intn(400)+10, 2000)
+		spec, err := events.Span(l, int64(rng.Intn(400)+1), int64(rng.Intn(150)+1))
+		if err != nil {
+			t.Fatalf("Span: %v", err)
+		}
+		for _, usePool := range []bool{false, true} {
+			p := pool
+			if !usePool {
+				p = nil
+			}
+			cfg := DefaultConfig()
+			cfg.Directed = true
+			cfg.NumMultiWindows = 3
+			cfg.KeepCoreness = true
+			eng, err := NewEngine(l, spec, cfg, p)
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			s, err := eng.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for w := 0; w < spec.Count; w++ {
+				want := naiveCoreness(l, spec.Start(w), spec.End(w))
+				r := s.Window(w)
+				if int(r.ActiveVertices) != len(want) {
+					t.Fatalf("trial %d w %d: active %d, oracle %d", trial, w, r.ActiveVertices, len(want))
+				}
+				var wantMax, wantMaxSize int32
+				for _, c := range want {
+					switch {
+					case c > wantMax:
+						wantMax = c
+						wantMaxSize = 1
+					case c == wantMax:
+						wantMaxSize++
+					}
+				}
+				if r.MaxCore != wantMax || r.MaxCoreSize != wantMaxSize {
+					t.Fatalf("trial %d w %d: max core %d(size %d), oracle %d(size %d)",
+						trial, w, r.MaxCore, r.MaxCoreSize, wantMax, wantMaxSize)
+				}
+				for v, c := range want {
+					if got := r.Coreness(v); got != c {
+						t.Fatalf("trial %d w %d vertex %d: coreness %d, oracle %d", trial, w, v, got, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKnownStructures(t *testing.T) {
+	// A 4-clique plus a pendant vertex: clique coreness 3, pendant 1.
+	var evs []events.Event
+	tcur := int64(0)
+	for i := int32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			tcur++
+			evs = append(evs, ev(i, j, tcur))
+		}
+	}
+	tcur++
+	evs = append(evs, ev(0, 4, tcur))
+	raw, _ := events.NewLog(evs, 5)
+	l := raw.Symmetrize() // Directed=false expects a symmetrized log
+	spec := events.WindowSpec{T0: 0, Delta: 100, Slide: 100, Count: 1}
+	cfg := DefaultConfig()
+	cfg.KeepCoreness = true
+	eng, _ := NewEngine(l, spec, cfg, nil)
+	s, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r := s.Window(0)
+	if r.MaxCore != 3 || r.MaxCoreSize != 4 {
+		t.Fatalf("clique core: max %d size %d", r.MaxCore, r.MaxCoreSize)
+	}
+	for v := int32(0); v < 4; v++ {
+		if r.Coreness(v) != 3 {
+			t.Fatalf("clique vertex %d coreness %d", v, r.Coreness(v))
+		}
+	}
+	if r.Coreness(4) != 1 {
+		t.Fatalf("pendant coreness %d", r.Coreness(4))
+	}
+}
+
+func TestCorePeelingOverTime(t *testing.T) {
+	// A triangle exists only in the first window; later only a path
+	// remains: max core drops from 2 to 1.
+	evs := []events.Event{
+		ev(0, 1, 0), ev(1, 2, 1), ev(2, 0, 2), // triangle at t=0..2
+		ev(0, 1, 100), ev(1, 2, 101), // path at t=100..101
+	}
+	raw, _ := events.NewLog(evs, 3)
+	l := raw.Symmetrize()
+	spec := events.WindowSpec{T0: 0, Delta: 10, Slide: 100, Count: 2}
+	eng, _ := NewEngine(l, spec, DefaultConfig(), nil)
+	s, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Window(0).MaxCore != 2 {
+		t.Fatalf("window 0 max core %d, want 2", s.Window(0).MaxCore)
+	}
+	if s.Window(1).MaxCore != 1 {
+		t.Fatalf("window 1 max core %d, want 1", s.Window(1).MaxCore)
+	}
+}
+
+func TestCorenessNotKeptByDefault(t *testing.T) {
+	l := randomLog(t, 700, 10, 50, 200)
+	spec, _ := events.Span(l, 100, 50)
+	eng, _ := NewEngine(l, spec, DefaultConfig(), nil)
+	s, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Window(0).Coreness(0) != -1 {
+		t.Fatal("coreness should be absent without KeepCoreness")
+	}
+}
+
+func TestKcoreValidation(t *testing.T) {
+	l := randomLog(t, 701, 5, 10, 50)
+	spec, _ := events.Span(l, 20, 10)
+	cfg := DefaultConfig()
+	cfg.NumMultiWindows = -1
+	if _, err := NewEngine(l, spec, cfg, nil); err == nil {
+		t.Fatal("bad NumMultiWindows accepted")
+	}
+	if _, err := NewEngineFromTemporal(nil, DefaultConfig(), nil); err == nil {
+		t.Fatal("nil temporal accepted")
+	}
+}

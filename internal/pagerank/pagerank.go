@@ -1,0 +1,221 @@
+// Package pagerank implements the PageRank convention shared by all
+// three execution models of the paper (Eq. 1):
+//
+//	PR(v) = alpha/|V| + (1-alpha) * sum_{u in In(v)} PR(u)/outdeg(u)
+//
+// where alpha is the teleportation probability and |V| counts the
+// window's active vertices (vertices incident to at least one edge).
+// Inactive vertices hold rank 0. Mass leaving dangling active vertices
+// (out-degree zero, possible in directed mode) is redistributed
+// uniformly over the active set, so ranks always sum to 1.
+//
+// The package provides the sequential pull kernel used by the offline
+// baseline and a deliberately independent dense oracle (Reference) used
+// by tests across the repository.
+package pagerank
+
+import (
+	"fmt"
+	"math"
+
+	"pmpr/internal/csr"
+)
+
+// Options control the iteration.
+type Options struct {
+	// Alpha is the teleportation probability (paper's alpha; a damping
+	// factor d corresponds to Alpha = 1-d).
+	Alpha float64
+	// Tol is the L1 convergence threshold between iterates.
+	Tol float64
+	// MaxIter caps the number of iterations.
+	MaxIter int
+}
+
+// Defaults returns the options used throughout the evaluation:
+// alpha = 0.15, tol = 1e-8, at most 100 iterations.
+func Defaults() Options {
+	return Options{Alpha: 0.15, Tol: 1e-8, MaxIter: 100}
+}
+
+// Validate checks option sanity.
+func (o Options) Validate() error {
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		return fmt.Errorf("pagerank: alpha %v outside (0, 1)", o.Alpha)
+	}
+	if o.Tol <= 0 {
+		return fmt.Errorf("pagerank: tolerance %v must be positive", o.Tol)
+	}
+	if o.MaxIter <= 0 {
+		return fmt.Errorf("pagerank: max iterations %d must be positive", o.MaxIter)
+	}
+	return nil
+}
+
+// Result is the outcome of a PageRank computation on one window graph.
+type Result struct {
+	// Ranks has one entry per vertex of the universe; inactive vertices
+	// are 0 and active ranks sum to 1.
+	Ranks []float64
+	// Iterations is the number of power iterations performed.
+	Iterations int
+	// Converged reports whether the L1 delta fell below Tol before
+	// MaxIter was reached.
+	Converged bool
+	// ActiveVertices is |V_i| of the window graph.
+	ActiveVertices int32
+}
+
+// Run computes PageRank on g. If init is non-nil it is used as the
+// starting vector (it must have length g.NumVertices(); entries at
+// inactive vertices are ignored and treated as 0; the active entries
+// are renormalized to sum to 1). A nil init means the full uniform
+// initialization 1/|V_i|.
+func Run(g *csr.Graph, init []float64, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := g.NumVertices()
+	if init != nil && int32(len(init)) != n {
+		return Result{}, fmt.Errorf("pagerank: init length %d != vertex count %d", len(init), n)
+	}
+
+	active := make([]bool, n)
+	var na int32
+	for v := int32(0); v < n; v++ {
+		if g.Active(v) {
+			active[v] = true
+			na++
+		}
+	}
+	if na == 0 {
+		return Result{Ranks: make([]float64, n), Converged: true}, nil
+	}
+
+	x := make([]float64, n)
+	if init == nil {
+		u := 1 / float64(na)
+		for v := int32(0); v < n; v++ {
+			if active[v] {
+				x[v] = u
+			}
+		}
+	} else {
+		var sum float64
+		for v := int32(0); v < n; v++ {
+			if active[v] && init[v] > 0 {
+				sum += init[v]
+			}
+		}
+		if sum <= 0 {
+			u := 1 / float64(na)
+			for v := int32(0); v < n; v++ {
+				if active[v] {
+					x[v] = u
+				}
+			}
+		} else {
+			for v := int32(0); v < n; v++ {
+				if active[v] && init[v] > 0 {
+					x[v] = init[v] / sum
+				}
+			}
+		}
+	}
+
+	y := make([]float64, n)
+	invNA := 1 / float64(na)
+	res := Result{ActiveVertices: na}
+	for it := 0; it < opt.MaxIter; it++ {
+		res.Iterations = it + 1
+		// Scaled contributions z[u] = x[u]/outdeg(u), dangling mass
+		// accumulated separately.
+		var dangling float64
+		for u := int32(0); u < n; u++ {
+			if !active[u] {
+				continue
+			}
+			if d := g.OutDegree(u); d == 0 {
+				dangling += x[u]
+			}
+		}
+		base := opt.Alpha*invNA + (1-opt.Alpha)*dangling*invNA
+		var delta float64
+		for v := int32(0); v < n; v++ {
+			if !active[v] {
+				continue
+			}
+			var acc float64
+			for _, u := range g.InNeighbors(v) {
+				acc += x[u] / float64(g.OutDegree(u))
+			}
+			nv := base + (1-opt.Alpha)*acc
+			delta += math.Abs(nv - x[v])
+			y[v] = nv
+		}
+		x, y = y, x
+		if delta < opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Ranks = x
+	return res, nil
+}
+
+// Reference computes PageRank with an intentionally naive, map-based
+// dense implementation. It shares no code with Run and is the oracle the
+// rest of the repository tests against. It is O(|V|^2 + |E|) per
+// iteration; use it only on small graphs.
+func Reference(g *csr.Graph, opt Options) ([]float64, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	n := int(g.NumVertices())
+	outdeg := make(map[int32]int)
+	inlist := make(map[int32][]int32)
+	activeSet := make(map[int32]bool)
+	for u := int32(0); u < int32(n); u++ {
+		for _, v := range g.OutNeighbors(u) {
+			outdeg[u]++
+			inlist[v] = append(inlist[v], u)
+			activeSet[u] = true
+			activeSet[v] = true
+		}
+	}
+	na := len(activeSet)
+	ranks := make([]float64, n)
+	if na == 0 {
+		return ranks, nil
+	}
+	x := make(map[int32]float64, na)
+	for v := range activeSet {
+		x[v] = 1 / float64(na)
+	}
+	for it := 0; it < opt.MaxIter; it++ {
+		var dangling float64
+		for v := range activeSet {
+			if outdeg[v] == 0 {
+				dangling += x[v]
+			}
+		}
+		y := make(map[int32]float64, na)
+		var delta float64
+		for v := range activeSet {
+			acc := 0.0
+			for _, u := range inlist[v] {
+				acc += x[u] / float64(outdeg[u])
+			}
+			y[v] = opt.Alpha/float64(na) + (1-opt.Alpha)*(acc+dangling/float64(na))
+			delta += math.Abs(y[v] - x[v])
+		}
+		x = y
+		if delta < opt.Tol {
+			break
+		}
+	}
+	for v, r := range x {
+		ranks[v] = r
+	}
+	return ranks, nil
+}

@@ -1,0 +1,266 @@
+package pagerank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pmpr/internal/csr"
+	"pmpr/internal/events"
+)
+
+func ev(u, v int32, t int64) events.Event { return events.Event{U: u, V: v, T: t} }
+
+func mustGraph(t *testing.T, evs []events.Event, n int32) *csr.Graph {
+	t.Helper()
+	g, err := csr.FromEvents(evs, n)
+	if err != nil {
+		t.Fatalf("FromEvents: %v", err)
+	}
+	return g
+}
+
+func rankSum(ranks []float64) float64 {
+	s := 0.0
+	for _, r := range ranks {
+		s += r
+	}
+	return s
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{Alpha: 0, Tol: 1e-8, MaxIter: 10},
+		{Alpha: 1, Tol: 1e-8, MaxIter: 10},
+		{Alpha: 0.15, Tol: 0, MaxIter: 10},
+		{Alpha: 0.15, Tol: 1e-8, MaxIter: 0},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad options %d accepted: %+v", i, o)
+		}
+	}
+	if err := Defaults().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}
+
+func TestTwoNodeCycle(t *testing.T) {
+	g := mustGraph(t, []events.Event{ev(0, 1, 1), ev(1, 0, 2)}, 2)
+	res, err := Run(g, nil, Defaults())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("two-node cycle did not converge")
+	}
+	if math.Abs(res.Ranks[0]-0.5) > 1e-9 || math.Abs(res.Ranks[1]-0.5) > 1e-9 {
+		t.Fatalf("ranks = %v, want [0.5 0.5]", res.Ranks)
+	}
+}
+
+func TestStarGraphCenterWins(t *testing.T) {
+	// Leaves 1..5 all point to 0, and 0 points back to each: center
+	// must outrank every leaf, leaves are symmetric.
+	var evs []events.Event
+	for i := int32(1); i <= 5; i++ {
+		evs = append(evs, ev(i, 0, int64(i)), ev(0, i, int64(i)))
+	}
+	g := mustGraph(t, evs, 6)
+	res, err := Run(g, nil, Defaults())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 1; i <= 5; i++ {
+		if res.Ranks[0] <= res.Ranks[i] {
+			t.Fatalf("center rank %v not above leaf %d rank %v", res.Ranks[0], i, res.Ranks[i])
+		}
+	}
+	for i := 2; i <= 5; i++ {
+		if math.Abs(res.Ranks[i]-res.Ranks[1]) > 1e-9 {
+			t.Fatalf("leaves not symmetric: %v vs %v", res.Ranks[i], res.Ranks[1])
+		}
+	}
+	if math.Abs(rankSum(res.Ranks)-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v, want 1", rankSum(res.Ranks))
+	}
+}
+
+func TestDanglingMassRedistributed(t *testing.T) {
+	// 0 -> 1, 1 has no out-edges: without dangling handling mass drains.
+	g := mustGraph(t, []events.Event{ev(0, 1, 1)}, 2)
+	res, err := Run(g, nil, Defaults())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(rankSum(res.Ranks)-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v, want 1", rankSum(res.Ranks))
+	}
+	if res.Ranks[1] <= res.Ranks[0] {
+		t.Fatalf("sink should outrank source: %v", res.Ranks)
+	}
+}
+
+func TestInactiveVerticesZero(t *testing.T) {
+	g := mustGraph(t, []events.Event{ev(0, 1, 1), ev(1, 0, 1)}, 10)
+	res, err := Run(g, nil, Defaults())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ActiveVertices != 2 {
+		t.Fatalf("ActiveVertices = %d, want 2", res.ActiveVertices)
+	}
+	for v := 2; v < 10; v++ {
+		if res.Ranks[v] != 0 {
+			t.Fatalf("inactive vertex %d has rank %v", v, res.Ranks[v])
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mustGraph(t, nil, 4)
+	res, err := Run(g, nil, Defaults())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged || rankSum(res.Ranks) != 0 {
+		t.Fatalf("empty graph: converged=%v sum=%v", res.Converged, rankSum(res.Ranks))
+	}
+}
+
+func randomGraph(rng *rand.Rand, n int32, m int) []events.Event {
+	evs := make([]events.Event, m)
+	for i := range evs {
+		evs[i] = ev(int32(rng.Intn(int(n))), int32(rng.Intn(int(n))), int64(i))
+	}
+	return evs
+}
+
+func TestRunMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := int32(rng.Intn(30) + 2)
+		g := mustGraph(t, randomGraph(rng, n, rng.Intn(150)), n)
+		opt := Defaults()
+		res, err := Run(g, nil, opt)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		want, err := Reference(g, opt)
+		if err != nil {
+			t.Fatalf("Reference: %v", err)
+		}
+		for v := range want {
+			if math.Abs(res.Ranks[v]-want[v]) > 1e-6 {
+				t.Fatalf("trial %d: vertex %d: Run=%v Reference=%v", trial, v, res.Ranks[v], want[v])
+			}
+		}
+	}
+}
+
+func TestRankSumInvariantEveryIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		n := int32(rng.Intn(25) + 2)
+		g := mustGraph(t, randomGraph(rng, n, rng.Intn(100)+1), n)
+		// Run with MaxIter = 1, 2, 3: the sum must be 1 after every
+		// number of iterations, not just at convergence.
+		for iters := 1; iters <= 3; iters++ {
+			opt := Options{Alpha: 0.15, Tol: 1e-300, MaxIter: iters}
+			res, err := Run(g, nil, opt)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if g.ActiveCount() > 0 && math.Abs(rankSum(res.Ranks)-1) > 1e-9 {
+				t.Fatalf("trial %d iters %d: sum=%v", trial, iters, rankSum(res.Ranks))
+			}
+		}
+	}
+}
+
+func TestWarmStartSameFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := int32(rng.Intn(25) + 3)
+		g := mustGraph(t, randomGraph(rng, n, rng.Intn(120)+5), n)
+		opt := Defaults()
+		cold, err := Run(g, nil, opt)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		// Arbitrary positive init, unnormalized on purpose.
+		init := make([]float64, n)
+		for i := range init {
+			init[i] = rng.Float64() + 0.01
+		}
+		warm, err := Run(g, init, opt)
+		if err != nil {
+			t.Fatalf("Run warm: %v", err)
+		}
+		for v := range cold.Ranks {
+			if math.Abs(cold.Ranks[v]-warm.Ranks[v]) > 1e-6 {
+				t.Fatalf("trial %d: fixed points differ at %d: %v vs %v", trial, v, cold.Ranks[v], warm.Ranks[v])
+			}
+		}
+	}
+}
+
+func TestWarmStartNearSolutionConvergesFaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := int32(60)
+	g := mustGraph(t, randomGraph(rng, n, 500), n)
+	opt := Defaults()
+	cold, err := Run(g, nil, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	warm, err := Run(g, cold.Ranks, opt)
+	if err != nil {
+		t.Fatalf("Run warm: %v", err)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Fatalf("warm start took %d iterations, cold took %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+func TestWarmStartZeroInitFallsBackToUniform(t *testing.T) {
+	g := mustGraph(t, []events.Event{ev(0, 1, 1), ev(1, 0, 1)}, 2)
+	init := []float64{0, 0}
+	res, err := Run(g, init, Defaults())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(rankSum(res.Ranks)-1) > 1e-9 {
+		t.Fatalf("sum = %v", rankSum(res.Ranks))
+	}
+}
+
+func TestRunRejectsBadInitLength(t *testing.T) {
+	g := mustGraph(t, []events.Event{ev(0, 1, 1)}, 2)
+	if _, err := Run(g, []float64{1}, Defaults()); err == nil {
+		t.Fatal("short init accepted")
+	}
+}
+
+func TestHigherAlphaFlattensRanks(t *testing.T) {
+	// With alpha -> 1 everything tends to uniform; verify monotonic
+	// flattening on an asymmetric graph.
+	g := mustGraph(t, []events.Event{
+		ev(1, 0, 1), ev(2, 0, 1), ev(3, 0, 1), ev(0, 1, 1),
+	}, 4)
+	spreadAt := func(alpha float64) float64 {
+		res, err := Run(g, nil, Options{Alpha: alpha, Tol: 1e-12, MaxIter: 500})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range res.Ranks {
+			lo = math.Min(lo, r)
+			hi = math.Max(hi, r)
+		}
+		return hi - lo
+	}
+	if !(spreadAt(0.05) > spreadAt(0.5) && spreadAt(0.5) > spreadAt(0.95)) {
+		t.Fatalf("spread not decreasing in alpha: %v %v %v", spreadAt(0.05), spreadAt(0.5), spreadAt(0.95))
+	}
+}

@@ -1,0 +1,31 @@
+package results
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead asserts the series decoder never panics on corrupt input.
+func FuzzRead(f *testing.F) {
+	src := randomSource(3)
+	var buf bytes.Buffer
+	_ = Write(&buf, src)
+	f.Add(buf.Bytes())
+	f.Add([]byte("PMRS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		s, err := Read(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted input must be internally consistent.
+		if len(s.Windows) != s.Spec.Count {
+			t.Fatalf("accepted series with %d windows for count %d", len(s.Windows), s.Spec.Count)
+		}
+		for _, w := range s.Windows {
+			if len(w.Vertices) != len(w.Ranks) {
+				t.Fatal("accepted window with mismatched slices")
+			}
+		}
+	})
+}

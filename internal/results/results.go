@@ -1,0 +1,179 @@
+// Package results serializes PageRank series for downstream analysis.
+// The paper's premise is that "applications will have a downstream
+// analysis that will depend on these vectors" (Sec. 2.2); this package
+// gives those applications a compact on-disk interchange format.
+//
+// Format (little-endian): magic "PMRS", version uint32, then the
+// window spec (t0, delta, slide int64; count uint32), numVertices
+// int32, followed per window by: window index uint32, iterations
+// uint32, flags uint8 (bit0 converged, bit1 partial init), entry count
+// uint32, then entries of (vertex int32, rank float64) for positive
+// ranks only — windows are sparse relative to the vertex universe.
+package results
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"pmpr/internal/events"
+)
+
+const (
+	magic   = "PMRS"
+	version = 1
+
+	flagConverged   = 1 << 0
+	flagPartialInit = 1 << 1
+)
+
+// WindowRanks is one deserialized window.
+type WindowRanks struct {
+	Window          int
+	Iterations      int
+	Converged       bool
+	UsedPartialInit bool
+	// Vertices and Ranks are parallel slices of the positive entries,
+	// sorted by vertex id.
+	Vertices []int32
+	Ranks    []float64
+}
+
+// Dense expands the sparse entries to a dense vector.
+func (w *WindowRanks) Dense(numVertices int32) []float64 {
+	out := make([]float64, numVertices)
+	for i, v := range w.Vertices {
+		out[v] = w.Ranks[i]
+	}
+	return out
+}
+
+// Series is a deserialized result file.
+type Series struct {
+	Spec        events.WindowSpec
+	NumVertices int32
+	Windows     []WindowRanks
+}
+
+// SeriesSource is what Write consumes: the subset of core.Series (or
+// any other producer) it needs. Implementations yield windows in order.
+type SeriesSource interface {
+	SpecAndSize() (events.WindowSpec, int32)
+	// WindowAt returns the sparse positive entries of window i sorted
+	// by vertex, plus metadata.
+	WindowAt(i int) WindowRanks
+}
+
+// Write serializes src.
+func Write(w io.Writer, src SeriesSource) error {
+	bw := bufio.NewWriter(w)
+	spec, n := src.SpecAndSize()
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8*3+4+4)
+	binary.LittleEndian.PutUint32(hdr[0:], version)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(spec.T0))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(spec.Delta))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(spec.Slide))
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(spec.Count))
+	binary.LittleEndian.PutUint32(hdr[32:], uint32(n))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 12)
+	for i := 0; i < spec.Count; i++ {
+		wr := src.WindowAt(i)
+		if len(wr.Vertices) != len(wr.Ranks) {
+			return fmt.Errorf("results: window %d has %d vertices but %d ranks", i, len(wr.Vertices), len(wr.Ranks))
+		}
+		var flags uint8
+		if wr.Converged {
+			flags |= flagConverged
+		}
+		if wr.UsedPartialInit {
+			flags |= flagPartialInit
+		}
+		whdr := make([]byte, 13)
+		binary.LittleEndian.PutUint32(whdr[0:], uint32(wr.Window))
+		binary.LittleEndian.PutUint32(whdr[4:], uint32(wr.Iterations))
+		whdr[8] = flags
+		binary.LittleEndian.PutUint32(whdr[9:], uint32(len(wr.Vertices)))
+		if _, err := bw.Write(whdr); err != nil {
+			return err
+		}
+		for j, v := range wr.Vertices {
+			binary.LittleEndian.PutUint32(rec[0:], uint32(v))
+			binary.LittleEndian.PutUint64(rec[4:], uint64(floatBits(wr.Ranks[j])))
+			if _, err := bw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a result file.
+func Read(r io.Reader) (*Series, error) {
+	br := bufio.NewReader(r)
+	m := make([]byte, 4)
+	if _, err := io.ReadFull(br, m); err != nil {
+		return nil, fmt.Errorf("results: reading magic: %w", err)
+	}
+	if string(m) != magic {
+		return nil, fmt.Errorf("results: bad magic %q", m)
+	}
+	hdr := make([]byte, 4+8*3+4+4)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("results: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != version {
+		return nil, fmt.Errorf("results: unsupported version %d", v)
+	}
+	s := &Series{
+		Spec: events.WindowSpec{
+			T0:    int64(binary.LittleEndian.Uint64(hdr[4:])),
+			Delta: int64(binary.LittleEndian.Uint64(hdr[12:])),
+			Slide: int64(binary.LittleEndian.Uint64(hdr[20:])),
+			Count: int(binary.LittleEndian.Uint32(hdr[28:])),
+		},
+		NumVertices: int32(binary.LittleEndian.Uint32(hdr[32:])),
+	}
+	const maxReasonable = 1 << 28
+	if s.Spec.Count < 0 || s.Spec.Count > maxReasonable {
+		return nil, fmt.Errorf("results: implausible window count %d", s.Spec.Count)
+	}
+	rec := make([]byte, 12)
+	for i := 0; i < s.Spec.Count; i++ {
+		whdr := make([]byte, 13)
+		if _, err := io.ReadFull(br, whdr); err != nil {
+			return nil, fmt.Errorf("results: window %d header: %w", i, err)
+		}
+		wr := WindowRanks{
+			Window:          int(binary.LittleEndian.Uint32(whdr[0:])),
+			Iterations:      int(binary.LittleEndian.Uint32(whdr[4:])),
+			Converged:       whdr[8]&flagConverged != 0,
+			UsedPartialInit: whdr[8]&flagPartialInit != 0,
+		}
+		count := binary.LittleEndian.Uint32(whdr[9:])
+		if count > maxReasonable {
+			return nil, fmt.Errorf("results: window %d has implausible entry count %d", i, count)
+		}
+		// Grow incrementally so a corrupt count fails with a truncation
+		// error rather than a huge allocation.
+		for j := uint32(0); j < count; j++ {
+			if _, err := io.ReadFull(br, rec); err != nil {
+				return nil, fmt.Errorf("results: window %d entry %d: %w", i, j, err)
+			}
+			wr.Vertices = append(wr.Vertices, int32(binary.LittleEndian.Uint32(rec[0:])))
+			wr.Ranks = append(wr.Ranks, bitsFloat(binary.LittleEndian.Uint64(rec[4:])))
+		}
+		s.Windows = append(s.Windows, wr)
+	}
+	return s, nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

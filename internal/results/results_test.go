@@ -1,0 +1,127 @@
+package results
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pmpr/internal/events"
+)
+
+type memSource struct {
+	spec    events.WindowSpec
+	n       int32
+	windows []WindowRanks
+}
+
+func (m memSource) SpecAndSize() (events.WindowSpec, int32) { return m.spec, m.n }
+func (m memSource) WindowAt(i int) WindowRanks              { return m.windows[i] }
+
+func randomSource(seed int64) memSource {
+	rng := rand.New(rand.NewSource(seed))
+	spec := events.WindowSpec{T0: -500, Delta: 100, Slide: 33, Count: 7}
+	src := memSource{spec: spec, n: 50}
+	for w := 0; w < spec.Count; w++ {
+		wr := WindowRanks{
+			Window:          w,
+			Iterations:      rng.Intn(100),
+			Converged:       rng.Intn(2) == 0,
+			UsedPartialInit: rng.Intn(2) == 0,
+		}
+		for v := int32(0); v < src.n; v++ {
+			if rng.Intn(3) == 0 {
+				wr.Vertices = append(wr.Vertices, v)
+				wr.Ranks = append(wr.Ranks, rng.Float64())
+			}
+		}
+		src.windows = append(src.windows, wr)
+	}
+	return src
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := randomSource(1)
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Spec != src.spec || got.NumVertices != src.n {
+		t.Fatalf("header mismatch: %+v vs %+v", got.Spec, src.spec)
+	}
+	for w := range src.windows {
+		if !reflect.DeepEqual(got.Windows[w], src.windows[w]) {
+			t.Fatalf("window %d mismatch:\n got %+v\nwant %+v", w, got.Windows[w], src.windows[w])
+		}
+	}
+}
+
+func TestDense(t *testing.T) {
+	wr := WindowRanks{Vertices: []int32{2, 5}, Ranks: []float64{0.25, 0.75}}
+	d := wr.Dense(8)
+	if d[2] != 0.25 || d[5] != 0.75 || d[0] != 0 {
+		t.Fatalf("Dense = %v", d)
+	}
+}
+
+func TestRanksPreservedBitExact(t *testing.T) {
+	src := memSource{
+		spec: events.WindowSpec{T0: 0, Delta: 1, Slide: 1, Count: 1},
+		n:    3,
+		windows: []WindowRanks{{
+			Window:   0,
+			Vertices: []int32{0, 1},
+			Ranks:    []float64{math.Nextafter(0.1, 1), 1e-300},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for i, r := range got.Windows[0].Ranks {
+		if r != src.windows[0].Ranks[i] {
+			t.Fatalf("rank %d not bit-exact: %v vs %v", i, r, src.windows[0].Ranks[i])
+		}
+	}
+}
+
+func TestReadRejectsCorrupt(t *testing.T) {
+	src := randomSource(2)
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	full := buf.Bytes()
+	if _, err := Read(bytes.NewReader([]byte("XXXXetc"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(full[:len(full)-3])); err == nil {
+		t.Error("truncated file accepted")
+	}
+	bad := append([]byte(nil), full...)
+	bad[4] = 0x7F // version
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestWriteRejectsMismatchedLengths(t *testing.T) {
+	src := memSource{
+		spec:    events.WindowSpec{T0: 0, Delta: 1, Slide: 1, Count: 1},
+		n:       3,
+		windows: []WindowRanks{{Vertices: []int32{0}, Ranks: []float64{0.1, 0.2}}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}

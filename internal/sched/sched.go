@@ -1,0 +1,389 @@
+// Package sched provides the work-stealing fork-join scheduler that
+// plays the role of Intel TBB in the paper (Sec. 4.3). Both levels of
+// parallelism — across time windows and inside a PageRank kernel — run
+// on one shared Pool, and nested parallel-for is supported re-entrantly
+// so the paper's "nested parallelization" maps onto it directly.
+//
+// Ranges are split lazily: a worker owning [lo, hi) splits it in half
+// when the partitioning policy says so, keeps one half, and exposes the
+// other for thieves. Because splits preserve contiguity, the worker that
+// processed window Gi-1 usually also processes Gi, which is what makes
+// partial initialization effective under window-level parallelism
+// (the paper's argument for a work-stealing scheduler over OpenMP's
+// dynamic scheduler).
+//
+// Three partitioners mirror TBB's:
+//
+//   - Simple: always split until a range is at most the grain size.
+//   - Auto: split only while there is demand (idle workers), except that
+//     ranges above an initial chunk (len/4P) are always split; large
+//     grains therefore behave like coarse static chunks.
+//   - Static: ranges are pre-assigned to workers contiguously and are
+//     never stolen.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Partitioner selects the range-splitting policy of a parallel loop.
+type Partitioner int
+
+const (
+	// Auto splits on demand, like tbb::auto_partitioner.
+	Auto Partitioner = iota
+	// Simple always splits down to the grain, like tbb::simple_partitioner.
+	Simple
+	// Static pre-assigns contiguous blocks to workers with no stealing,
+	// like tbb::static_partitioner.
+	Static
+)
+
+func (p Partitioner) String() string {
+	switch p {
+	case Auto:
+		return "auto"
+	case Simple:
+		return "simple"
+	case Static:
+		return "static"
+	default:
+		return fmt.Sprintf("Partitioner(%d)", int(p))
+	}
+}
+
+// Body is the leaf function of a parallel loop; it receives the worker
+// executing it (for nested ParallelFor calls) and a half-open index
+// range [lo, hi).
+type Body func(w *Worker, lo, hi int)
+
+type job struct {
+	body    Body
+	grain   int
+	part    Partitioner
+	initial int // auto: ranges longer than this always split
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+func (j *job) finish(leaves int64) {
+	if j.pending.Add(-leaves) == 0 {
+		close(j.done)
+	}
+}
+
+type span struct {
+	lo, hi int
+	job    *job
+}
+
+type deque struct {
+	mu    sync.Mutex
+	items []span
+}
+
+func (d *deque) pushBottom(s span) {
+	d.mu.Lock()
+	d.items = append(d.items, s)
+	d.mu.Unlock()
+}
+
+func (d *deque) popBottom() (span, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return span{}, false
+	}
+	s := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return s, true
+}
+
+// stealTop removes the oldest stealable span. Spans of Static jobs are
+// pinned to their worker and skipped.
+func (d *deque) stealTop() (span, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < len(d.items); i++ {
+		if d.items[i].job.part == Static {
+			continue
+		}
+		s := d.items[i]
+		d.items = append(d.items[:i], d.items[i+1:]...)
+		return s, true
+	}
+	return span{}, false
+}
+
+// Pool is a fixed set of workers processing fork-join range tasks.
+type Pool struct {
+	workers []*Worker
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sleeper int
+	closed  bool
+
+	idle atomic.Int32 // workers currently out of work (demand signal for Auto)
+}
+
+// Worker is one of the pool's executors. The Body of a loop may call
+// ParallelFor on its Worker to fork a nested loop on the same pool.
+type Worker struct {
+	pool *Pool
+	id   int
+	dq   deque
+	rng  *rand.Rand
+}
+
+// ID returns the worker index in [0, Pool.NumWorkers()).
+func (w *Worker) ID() int { return w.id }
+
+// Pool returns the pool this worker belongs to.
+func (w *Worker) Pool() *Pool { return w.pool }
+
+// NewPool starts a pool with the given number of workers; n <= 0 means
+// runtime.GOMAXPROCS(0). Call Close when done.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.workers = make([]*Worker, n)
+	for i := 0; i < n; i++ {
+		p.workers[i] = &Worker{pool: p, id: i, rng: rand.New(rand.NewSource(int64(i)*0x9E3779B9 + 1))}
+	}
+	for _, w := range p.workers {
+		go w.run()
+	}
+	return p
+}
+
+// NumWorkers returns the number of workers.
+func (p *Pool) NumWorkers() int { return len(p.workers) }
+
+// Close shuts the workers down. Pending work is abandoned; only call
+// Close after all ParallelFor calls have returned.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func (p *Pool) wake() {
+	p.mu.Lock()
+	sleeping := p.sleeper > 0
+	p.mu.Unlock()
+	if sleeping {
+		p.cond.Broadcast()
+	}
+}
+
+func (w *Worker) run() {
+	p := w.pool
+	for {
+		if s, ok := w.findWork(); ok {
+			w.process(s)
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		// Re-check under the lock to avoid missing a wake between the
+		// failed search and the wait.
+		if s, ok := w.findWork(); ok {
+			p.mu.Unlock()
+			w.process(s)
+			continue
+		}
+		p.sleeper++
+		p.idle.Add(1)
+		p.cond.Wait()
+		p.idle.Add(-1)
+		p.sleeper--
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// findWork pops from the worker's own deque, then tries to steal.
+func (w *Worker) findWork() (span, bool) {
+	if s, ok := w.dq.popBottom(); ok {
+		return s, true
+	}
+	p := w.pool
+	n := len(p.workers)
+	off := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		victim := p.workers[(off+i)%n]
+		if victim == w {
+			continue
+		}
+		if s, ok := victim.dq.stealTop(); ok {
+			return s, true
+		}
+	}
+	return span{}, false
+}
+
+// shouldSplit decides whether the owning worker should split s before
+// executing, per the job's partitioner.
+func (w *Worker) shouldSplit(s span) bool {
+	length := s.hi - s.lo
+	j := s.job
+	if length <= j.grain || length < 2 {
+		return false
+	}
+	switch j.part {
+	case Simple:
+		return true
+	case Static:
+		return false
+	default: // Auto
+		if length > j.initial {
+			return true
+		}
+		return w.pool.idle.Load() > 0
+	}
+}
+
+func (w *Worker) process(s span) {
+	for w.shouldSplit(s) {
+		mid := s.lo + (s.hi-s.lo)/2
+		s.job.pending.Add(1)
+		w.dq.pushBottom(span{lo: mid, hi: s.hi, job: s.job})
+		w.pool.wake()
+		s.hi = mid
+	}
+	j := s.job
+	if j.part == Static && s.hi-s.lo > j.grain {
+		// Execute in grain-size leaf calls, mirroring how TBB's static
+		// partitioner still honors the range grain.
+		for lo := s.lo; lo < s.hi; lo += j.grain {
+			hi := lo + j.grain
+			if hi > s.hi {
+				hi = s.hi
+			}
+			j.body(w, lo, hi)
+		}
+	} else {
+		j.body(w, s.lo, s.hi)
+	}
+	j.finish(1)
+}
+
+// helpUntil processes available work until the job completes. It is the
+// blocking point for nested ParallelFor calls: the worker keeps the pool
+// busy (possibly with spans of other jobs) instead of sleeping.
+func (w *Worker) helpUntil(j *job) {
+	for {
+		select {
+		case <-j.done:
+			return
+		default:
+		}
+		if s, ok := w.findWork(); ok {
+			w.process(s)
+		} else {
+			select {
+			case <-j.done:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+func newJob(n, grain, workers int, part Partitioner, body Body) *job {
+	if grain < 1 {
+		grain = 1
+	}
+	initial := n / (4 * workers)
+	if initial < grain {
+		initial = grain
+	}
+	j := &job{body: body, grain: grain, part: part, initial: initial, done: make(chan struct{})}
+	return j
+}
+
+// seed distributes the root spans of a job. For Static the range is cut
+// into one contiguous block per worker (no stealing); otherwise the
+// whole range is a single span pushed to the submitting worker (or
+// worker 0 for external submissions) and thieves carve it up.
+func (p *Pool) seed(j *job, n int, home *Worker) {
+	if j.part == Static {
+		nw := len(p.workers)
+		per := (n + nw - 1) / nw
+		if per < j.grain {
+			per = j.grain
+		}
+		count := int64(0)
+		for lo, i := 0, 0; lo < n; lo, i = lo+per, i+1 {
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			count++
+			p.workers[i%len(p.workers)].dq.pushBottom(span{lo: lo, hi: hi, job: j})
+		}
+		j.pending.Add(count)
+		// Broadcast under the lock: a worker between its last failed
+		// work search and cond.Wait holds p.mu, so acquiring it here
+		// guarantees the worker either saw the pushed spans or is
+		// already waiting and receives this wakeup.
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return
+	}
+	j.pending.Add(1)
+	target := home
+	if target == nil {
+		target = p.workers[0]
+	}
+	target.dq.pushBottom(span{lo: 0, hi: n, job: j})
+	p.wake()
+}
+
+// ParallelFor runs body over [0, n) using the pool and blocks until all
+// leaves have executed. It is safe to call from any goroutine that is
+// not a pool worker; inside a Body, call Worker.ParallelFor instead.
+func (p *Pool) ParallelFor(n, grain int, part Partitioner, body Body) {
+	if n <= 0 {
+		return
+	}
+	j := newJob(n, grain, len(p.workers), part, body)
+	p.seed(j, n, nil)
+	<-j.done
+}
+
+// ParallelFor runs a nested loop from inside a Body. The calling worker
+// participates: it processes spans (of this or other jobs) until the
+// nested loop completes.
+func (w *Worker) ParallelFor(n, grain int, part Partitioner, body Body) {
+	if n <= 0 {
+		return
+	}
+	j := newJob(n, grain, len(w.pool.workers), part, body)
+	w.pool.seed(j, n, w)
+	w.helpUntil(j)
+}
+
+// Run executes fn on some pool worker and waits for it; it is a
+// convenience for moving a serial computation onto the pool so that
+// nested ParallelFor calls have a Worker context.
+func (p *Pool) Run(fn func(w *Worker)) {
+	p.ParallelFor(1, 1, Auto, func(w *Worker, _, _ int) { fn(w) })
+}

@@ -1,0 +1,285 @@
+// Package streaming implements the streaming execution model the paper
+// compares against (Sec. 3.3.2): a STINGER-like in-memory dynamic graph
+// holding a single "current" version of the sliding window, updated by
+// batches of edge events, plus incremental PageRank on top of it.
+//
+// As in STINGER, per-vertex adjacency is a chain of fixed-size edge
+// blocks; inserting an edge scans the chain for the neighbor or a free
+// slot, deleting leaves a hole for reuse. The sliding-window semantics
+// are multigraph-aware: each (u, v) slot carries the count of live
+// events, and the edge exists while the count is positive.
+package streaming
+
+import (
+	"fmt"
+)
+
+// blockEdges is the number of edge slots per block (STINGER's default
+// region is comparable; the value trades pointer chasing for slack).
+const blockEdges = 14
+
+type edgeBlock struct {
+	next *edgeBlock
+	used int // slots ever touched (free slots before this index have count==0)
+	nbr  [blockEdges]int32
+	cnt  [blockEdges]int32
+	// STINGER stores per-edge metadata alongside the neighbor: the
+	// first and most recent timestamps and a weight. The sliding-window
+	// runner maintains them on every insertion, as the middleware
+	// would, which costs the same extra memory traffic per traversed
+	// edge.
+	firstTime  [blockEdges]int64
+	recentTime [blockEdges]int64
+	weight     [blockEdges]int64
+}
+
+// Graph is the dynamic sliding-window graph. When directed, both the
+// out-adjacency and the in-adjacency are maintained (PageRank pulls
+// along in-edges and divides by out-degrees).
+type Graph struct {
+	n        int32
+	directed bool
+
+	out []*edgeBlock // head of the out-chain of each vertex
+	in  []*edgeBlock // head of the in-chain (directed only)
+
+	outDeg []int32 // distinct live out-neighbors
+	inDeg  []int32 // distinct live in-neighbors (directed only)
+
+	numEdges int64 // live distinct directed edges
+	blocks   int64 // total allocated blocks, for memory accounting
+}
+
+// NewGraph creates an empty dynamic graph over n vertices.
+func NewGraph(n int32, directed bool) *Graph {
+	g := &Graph{
+		n:        n,
+		directed: directed,
+		out:      make([]*edgeBlock, n),
+		outDeg:   make([]int32, n),
+	}
+	if directed {
+		g.in = make([]*edgeBlock, n)
+		g.inDeg = make([]int32, n)
+	}
+	return g
+}
+
+// NumVertices returns the vertex universe size.
+func (g *Graph) NumVertices() int32 { return g.n }
+
+// NumEdges returns the number of live distinct directed edges.
+func (g *Graph) NumEdges() int64 { return g.numEdges }
+
+// NumBlocks returns the number of allocated edge blocks (a proxy for
+// the middleware's memory overhead).
+func (g *Graph) NumBlocks() int64 { return g.blocks }
+
+// OutDegree returns the number of distinct live out-neighbors of u.
+func (g *Graph) OutDegree(u int32) int32 { return g.outDeg[u] }
+
+// InDegree returns the number of distinct live in-neighbors of v. For
+// an undirected graph it equals OutDegree.
+func (g *Graph) InDegree(v int32) int32 {
+	if !g.directed {
+		return g.outDeg[v]
+	}
+	return g.inDeg[v]
+}
+
+// Active reports whether v has at least one live incident edge.
+func (g *Graph) Active(v int32) bool { return g.OutDegree(v) > 0 || g.InDegree(v) > 0 }
+
+// insertChain adds one event of (src -> dst) at timestamp ts to the
+// chain rooted at heads[src]; it returns true when the edge is new
+// (count 0 -> 1).
+func (g *Graph) insertChain(heads []*edgeBlock, src, dst int32, ts int64) bool {
+	var free *edgeBlock
+	freeSlot := -1
+	var last *edgeBlock
+	for b := heads[src]; b != nil; b = b.next {
+		for i := 0; i < b.used; i++ {
+			if b.cnt[i] > 0 && b.nbr[i] == dst {
+				b.cnt[i]++
+				b.recentTime[i] = ts
+				b.weight[i]++
+				return false
+			}
+			if b.cnt[i] == 0 && free == nil {
+				free, freeSlot = b, i
+			}
+		}
+		if b.used < blockEdges && free == nil {
+			free, freeSlot = b, b.used
+		}
+		last = b
+	}
+	if free == nil {
+		nb := &edgeBlock{}
+		g.blocks++
+		if last == nil {
+			heads[src] = nb
+		} else {
+			last.next = nb
+		}
+		free, freeSlot = nb, 0
+	}
+	if freeSlot == free.used {
+		free.used++
+	}
+	free.nbr[freeSlot] = dst
+	free.cnt[freeSlot] = 1
+	free.firstTime[freeSlot] = ts
+	free.recentTime[freeSlot] = ts
+	free.weight[freeSlot] = 1
+	return true
+}
+
+// removeChain removes one event of (src -> dst); it returns true when
+// the edge died (count 1 -> 0) and an error when the event was never
+// inserted.
+func (g *Graph) removeChain(heads []*edgeBlock, src, dst int32) (bool, error) {
+	for b := heads[src]; b != nil; b = b.next {
+		for i := 0; i < b.used; i++ {
+			if b.cnt[i] > 0 && b.nbr[i] == dst {
+				b.cnt[i]--
+				return b.cnt[i] == 0, nil
+			}
+		}
+	}
+	return false, fmt.Errorf("streaming: removing absent edge %d -> %d", src, dst)
+}
+
+// InsertEvent adds one event of the edge (u, v) at time 0; see
+// InsertEventAt.
+func (g *Graph) InsertEvent(u, v int32) (bool, error) { return g.InsertEventAt(u, v, 0) }
+
+// InsertEventAt adds one event of the edge (u, v) at timestamp ts,
+// maintaining the per-edge first/recent timestamps and weight as
+// STINGER does. It returns true when the edge appears (was not live
+// before).
+func (g *Graph) InsertEventAt(u, v int32, ts int64) (bool, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false, fmt.Errorf("streaming: edge (%d, %d) out of range [0, %d)", u, v, g.n)
+	}
+	isNew := g.insertChain(g.out, u, v, ts)
+	if isNew {
+		g.outDeg[u]++
+		g.numEdges++
+	}
+	if g.directed {
+		inNew := g.insertChain(g.in, v, u, ts)
+		if inNew != isNew {
+			return false, fmt.Errorf("streaming: in/out views diverged on insert (%d, %d)", u, v)
+		}
+		if inNew {
+			g.inDeg[v]++
+		}
+	}
+	return isNew, nil
+}
+
+// RemoveEvent removes one event of the edge (u, v). It returns true
+// when the edge disappears (its last live event was removed).
+func (g *Graph) RemoveEvent(u, v int32) (bool, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false, fmt.Errorf("streaming: edge (%d, %d) out of range [0, %d)", u, v, g.n)
+	}
+	died, err := g.removeChain(g.out, u, v)
+	if err != nil {
+		return false, err
+	}
+	if died {
+		g.outDeg[u]--
+		g.numEdges--
+	}
+	if g.directed {
+		inDied, err := g.removeChain(g.in, v, u)
+		if err != nil {
+			return false, err
+		}
+		if inDied != died {
+			return false, fmt.Errorf("streaming: in/out views diverged on remove (%d, %d)", u, v)
+		}
+		if inDied {
+			g.inDeg[v]--
+		}
+	}
+	return died, nil
+}
+
+// ForEachOutNeighbor calls f for every distinct live out-neighbor of u.
+func (g *Graph) ForEachOutNeighbor(u int32, f func(v int32)) {
+	for b := g.out[u]; b != nil; b = b.next {
+		for i := 0; i < b.used; i++ {
+			if b.cnt[i] > 0 {
+				f(b.nbr[i])
+			}
+		}
+	}
+}
+
+// ForEachInNeighbor calls f for every distinct live in-neighbor of v.
+func (g *Graph) ForEachInNeighbor(v int32, f func(u int32)) {
+	heads := g.in
+	if !g.directed {
+		heads = g.out
+	}
+	for b := heads[v]; b != nil; b = b.next {
+		for i := 0; i < b.used; i++ {
+			if b.cnt[i] > 0 {
+				f(b.nbr[i])
+			}
+		}
+	}
+}
+
+// HasEdge reports whether (u, v) is live.
+func (g *Graph) HasEdge(u, v int32) bool {
+	found := false
+	for b := g.out[u]; b != nil && !found; b = b.next {
+		for i := 0; i < b.used; i++ {
+			if b.cnt[i] > 0 && b.nbr[i] == v {
+				found = true
+				break
+			}
+		}
+	}
+	return found
+}
+
+// EventCount returns the number of live events of (u, v).
+func (g *Graph) EventCount(u, v int32) int32 {
+	for b := g.out[u]; b != nil; b = b.next {
+		for i := 0; i < b.used; i++ {
+			if b.cnt[i] > 0 && b.nbr[i] == v {
+				return b.cnt[i]
+			}
+		}
+	}
+	return 0
+}
+
+// EdgeTimes returns the first and most recent live-event timestamps of
+// (u, v); ok is false when the edge is not live.
+func (g *Graph) EdgeTimes(u, v int32) (first, recent int64, ok bool) {
+	for b := g.out[u]; b != nil; b = b.next {
+		for i := 0; i < b.used; i++ {
+			if b.cnt[i] > 0 && b.nbr[i] == v {
+				return b.firstTime[i], b.recentTime[i], true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// ActiveCount returns the number of vertices with a live incident edge.
+func (g *Graph) ActiveCount() int32 {
+	var c int32
+	for v := int32(0); v < g.n; v++ {
+		if g.Active(v) {
+			c++
+		}
+	}
+	return c
+}

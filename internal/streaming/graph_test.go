@@ -1,0 +1,259 @@
+package streaming
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestInsertRemoveBasics(t *testing.T) {
+	g := NewGraph(4, true)
+	isNew, err := g.InsertEvent(0, 1)
+	if err != nil || !isNew {
+		t.Fatalf("first insert: new=%v err=%v", isNew, err)
+	}
+	isNew, err = g.InsertEvent(0, 1)
+	if err != nil || isNew {
+		t.Fatalf("second insert of same edge: new=%v err=%v", isNew, err)
+	}
+	if g.NumEdges() != 1 || g.EventCount(0, 1) != 2 {
+		t.Fatalf("edges=%d count=%d", g.NumEdges(), g.EventCount(0, 1))
+	}
+	died, err := g.RemoveEvent(0, 1)
+	if err != nil || died {
+		t.Fatalf("first remove: died=%v err=%v", died, err)
+	}
+	died, err = g.RemoveEvent(0, 1)
+	if err != nil || !died {
+		t.Fatalf("second remove: died=%v err=%v", died, err)
+	}
+	if g.NumEdges() != 0 || g.HasEdge(0, 1) {
+		t.Fatal("edge should be gone")
+	}
+	if _, err := g.RemoveEvent(0, 1); err == nil {
+		t.Fatal("removing absent edge should error")
+	}
+}
+
+func TestDegreesDirected(t *testing.T) {
+	g := NewGraph(5, true)
+	mustInsert := func(u, v int32) {
+		t.Helper()
+		if _, err := g.InsertEvent(u, v); err != nil {
+			t.Fatalf("insert(%d,%d): %v", u, v, err)
+		}
+	}
+	mustInsert(0, 1)
+	mustInsert(0, 2)
+	mustInsert(3, 1)
+	if g.OutDegree(0) != 2 || g.InDegree(1) != 2 || g.InDegree(0) != 0 {
+		t.Fatalf("degrees wrong: out0=%d in1=%d in0=%d", g.OutDegree(0), g.InDegree(1), g.InDegree(0))
+	}
+	if !g.Active(1) || g.Active(4) {
+		t.Fatal("activity flags wrong")
+	}
+	if g.ActiveCount() != 4 {
+		t.Fatalf("ActiveCount = %d, want 4", g.ActiveCount())
+	}
+}
+
+func TestUndirectedInDegreeAliases(t *testing.T) {
+	g := NewGraph(3, false)
+	if _, err := g.InsertEvent(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.InsertEvent(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.InDegree(0) != g.OutDegree(0) {
+		t.Fatal("undirected in-degree should equal out-degree")
+	}
+}
+
+func TestBoundsChecked(t *testing.T) {
+	g := NewGraph(2, true)
+	if _, err := g.InsertEvent(0, 2); err == nil {
+		t.Fatal("out-of-range insert accepted")
+	}
+	if _, err := g.InsertEvent(-1, 0); err == nil {
+		t.Fatal("negative insert accepted")
+	}
+	if _, err := g.RemoveEvent(5, 0); err == nil {
+		t.Fatal("out-of-range remove accepted")
+	}
+}
+
+func TestBlockChainsGrowAndReuse(t *testing.T) {
+	// Undirected so only vertex 0's out-chain allocates blocks; directed
+	// graphs additionally allocate one in-chain block per fresh target.
+	g := NewGraph(100, false)
+	// More neighbors than one block holds.
+	for v := int32(1); v < 50; v++ {
+		if _, err := g.InsertEvent(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.OutDegree(0) != 49 {
+		t.Fatalf("OutDegree(0) = %d", g.OutDegree(0))
+	}
+	before := g.NumBlocks()
+	// Kill some edges, then add new ones: the holes must be reused
+	// without allocating new blocks.
+	for v := int32(1); v <= 10; v++ {
+		if _, err := g.RemoveEvent(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := int32(50); v < 60; v++ {
+		if _, err := g.InsertEvent(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.NumBlocks() != before {
+		t.Fatalf("blocks grew from %d to %d despite free slots", before, g.NumBlocks())
+	}
+	if g.OutDegree(0) != 49 {
+		t.Fatalf("OutDegree(0) = %d after churn", g.OutDegree(0))
+	}
+}
+
+func collectOut(g *Graph, u int32) []int32 {
+	var out []int32
+	g.ForEachOutNeighbor(u, func(v int32) { out = append(out, v) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestRandomChurnMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	const n = 30
+	g := NewGraph(n, true)
+	// Oracle: multiset of live events.
+	counts := make(map[[2]int32]int)
+	var live [][2]int32 // events currently live, for random removal
+	for step := 0; step < 5000; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			died, err := g.RemoveEvent(e[0], e[1])
+			if err != nil {
+				t.Fatalf("step %d: remove: %v", step, err)
+			}
+			counts[e]--
+			if died != (counts[e] == 0) {
+				t.Fatalf("step %d: died=%v oracle count=%d", step, died, counts[e])
+			}
+		} else {
+			e := [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+			isNew, err := g.InsertEvent(e[0], e[1])
+			if err != nil {
+				t.Fatalf("step %d: insert: %v", step, err)
+			}
+			if isNew != (counts[e] == 0) {
+				t.Fatalf("step %d: new=%v oracle count=%d", step, isNew, counts[e])
+			}
+			counts[e]++
+			live = append(live, e)
+		}
+	}
+	// Verify full adjacency against the oracle.
+	wantEdges := 0
+	outAdj := make(map[int32][]int32)
+	inDeg := make(map[int32]int32)
+	for e, c := range counts {
+		if c > 0 {
+			wantEdges++
+			outAdj[e[0]] = append(outAdj[e[0]], e[1])
+			inDeg[e[1]]++
+			if g.EventCount(e[0], e[1]) != int32(c) {
+				t.Fatalf("edge %v: count %d, oracle %d", e, g.EventCount(e[0], e[1]), c)
+			}
+		} else if g.HasEdge(e[0], e[1]) {
+			t.Fatalf("dead edge %v still live", e)
+		}
+	}
+	if g.NumEdges() != int64(wantEdges) {
+		t.Fatalf("NumEdges = %d, oracle %d", g.NumEdges(), wantEdges)
+	}
+	for u := int32(0); u < n; u++ {
+		want := append([]int32(nil), outAdj[u]...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := collectOut(g, u)
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d: %v != %v", u, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("vertex %d: %v != %v", u, got, want)
+			}
+		}
+		if g.OutDegree(u) != int32(len(want)) {
+			t.Fatalf("vertex %d: OutDegree %d, oracle %d", u, g.OutDegree(u), len(want))
+		}
+		if g.InDegree(u) != inDeg[u] {
+			t.Fatalf("vertex %d: InDegree %d, oracle %d", u, g.InDegree(u), inDeg[u])
+		}
+	}
+	// In-neighbor iteration mirrors the out view.
+	for v := int32(0); v < n; v++ {
+		var ins []int32
+		g.ForEachInNeighbor(v, func(u int32) { ins = append(ins, u) })
+		if int32(len(ins)) != g.InDegree(v) {
+			t.Fatalf("vertex %d: iterated %d in-neighbors, degree %d", v, len(ins), g.InDegree(v))
+		}
+		for _, u := range ins {
+			if counts[[2]int32{u, v}] <= 0 {
+				t.Fatalf("phantom in-edge %d -> %d", u, v)
+			}
+		}
+	}
+}
+
+func TestSelfLoopStreaming(t *testing.T) {
+	g := NewGraph(3, true)
+	if _, err := g.InsertEvent(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.OutDegree(1) != 1 || g.InDegree(1) != 1 || !g.Active(1) {
+		t.Fatal("self-loop bookkeeping wrong")
+	}
+	if died, err := g.RemoveEvent(1, 1); err != nil || !died {
+		t.Fatalf("died=%v err=%v", died, err)
+	}
+	if g.Active(1) {
+		t.Fatal("vertex still active after self-loop removal")
+	}
+}
+
+func TestEdgeTimesMetadata(t *testing.T) {
+	g := NewGraph(3, true)
+	if _, err := g.InsertEventAt(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.InsertEventAt(0, 1, 250); err != nil {
+		t.Fatal(err)
+	}
+	first, recent, ok := g.EdgeTimes(0, 1)
+	if !ok || first != 100 || recent != 250 {
+		t.Fatalf("EdgeTimes = (%d, %d, %v), want (100, 250, true)", first, recent, ok)
+	}
+	if _, _, ok := g.EdgeTimes(1, 0); ok {
+		t.Fatal("absent edge reported times")
+	}
+	// Edge dies and is reinserted: metadata resets.
+	if _, err := g.RemoveEvent(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RemoveEvent(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.InsertEventAt(0, 1, 900); err != nil {
+		t.Fatal(err)
+	}
+	first, recent, ok = g.EdgeTimes(0, 1)
+	if !ok || first != 900 || recent != 900 {
+		t.Fatalf("after reinsertion EdgeTimes = (%d, %d, %v), want (900, 900, true)", first, recent, ok)
+	}
+}

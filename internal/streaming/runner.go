@@ -1,0 +1,466 @@
+package streaming
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"pmpr/internal/events"
+	"pmpr/internal/pagerank"
+	"pmpr/internal/sched"
+)
+
+// Strategy selects how the PageRank solution is updated after a batch
+// of edge changes.
+type Strategy int
+
+const (
+	// WarmRestart starts the power iteration from the previous window's
+	// solution (renormalized over the new active set) and iterates to
+	// convergence. It produces the same per-window results as the
+	// postmortem and offline models, which is the configuration the
+	// paper's comparison uses ("the code bases produce the same
+	// results").
+	WarmRestart Strategy = iota
+	// Recompute starts every window from the uniform vector.
+	Recompute
+	// Frontier is a Riedy-style incremental update (the role of Eq. 3):
+	// only vertices transitively affected by the batch are iterated,
+	// with Gauss-Seidel in-place updates. It is approximate — vertices
+	// outside the frontier keep their previous values.
+	Frontier
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case WarmRestart:
+		return "warm-restart"
+	case Recompute:
+		return "recompute"
+	case Frontier:
+		return "frontier"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config controls a streaming run.
+type Config struct {
+	// Opts are the shared PageRank parameters.
+	Opts pagerank.Options
+	// Directed keeps edge direction (the log must then not be
+	// symmetrized); false expects a symmetrized log.
+	Directed bool
+	// Strategy is the incremental update policy.
+	Strategy Strategy
+	// Partitioner and Grain configure the kernel's vertex loop when a
+	// pool is supplied. The streaming model has no window-level
+	// parallelism — windows are inherently sequential.
+	Partitioner sched.Partitioner
+	Grain       int
+	// DiscardRanks keeps only statistics per window.
+	DiscardRanks bool
+}
+
+// DefaultConfig mirrors the paper's streaming setup.
+func DefaultConfig() Config {
+	return Config{
+		Opts:        pagerank.Defaults(),
+		Strategy:    WarmRestart,
+		Partitioner: sched.Auto,
+		Grain:       64,
+	}
+}
+
+// WindowStats describes one processed window of the stream.
+type WindowStats struct {
+	Window         int
+	Iterations     int
+	Converged      bool
+	ActiveVertices int32
+	// Inserted and Removed are the batch sizes (event granularity) that
+	// slid the window here.
+	Inserted, Removed int
+	// Ranks is the dense PageRank vector (nil when discarded).
+	Ranks []float64
+}
+
+// Runner drives the streaming model over a window sequence: per window
+// it injects the entering events, retires the departing ones, and
+// updates PageRank incrementally. The runner maintains exactly one
+// graph version, so windows are processed strictly in order.
+type Runner struct {
+	log  *events.Log
+	spec events.WindowSpec
+	cfg  Config
+	pool *sched.Pool
+
+	g *Graph
+	x []float64
+}
+
+// NewRunner validates the configuration and prepares an empty stream.
+func NewRunner(l *events.Log, spec events.WindowSpec, cfg Config, pool *sched.Pool) (*Runner, error) {
+	if err := cfg.Opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Strategy < WarmRestart || cfg.Strategy > Frontier {
+		return nil, fmt.Errorf("streaming: unknown strategy %d", int(cfg.Strategy))
+	}
+	return &Runner{
+		log:  l,
+		spec: spec,
+		cfg:  cfg,
+		pool: pool,
+		g:    NewGraph(l.NumVertices(), cfg.Directed),
+		x:    make([]float64, l.NumVertices()),
+	}, nil
+}
+
+// Graph exposes the current dynamic graph (for inspection and tests).
+func (r *Runner) Graph() *Graph { return r.g }
+
+// Run processes every window in order and returns per-window stats.
+func (r *Runner) Run() ([]WindowStats, error) {
+	out := make([]WindowStats, r.spec.Count)
+	for w := 0; w < r.spec.Count; w++ {
+		st, err := r.Step(w)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = st
+	}
+	return out, nil
+}
+
+// Step advances the stream to window w (which must be the next window).
+func (r *Runner) Step(w int) (WindowStats, error) {
+	ins, rem, seeds, err := r.slide(w)
+	if err != nil {
+		return WindowStats{}, err
+	}
+	st := WindowStats{Window: w, Inserted: ins, Removed: rem}
+	switch r.cfg.Strategy {
+	case Recompute:
+		r.solve(&st, false)
+	case WarmRestart:
+		r.solve(&st, w > 0)
+	case Frontier:
+		if w == 0 {
+			r.solve(&st, false)
+		} else {
+			r.solveFrontier(&st, seeds)
+		}
+	}
+	if !r.cfg.DiscardRanks {
+		st.Ranks = append([]float64(nil), r.x...)
+	}
+	return st, nil
+}
+
+// slide applies the batch moving the graph from window w-1 to window w
+// and returns the batch sizes plus the set of touched vertices.
+func (r *Runner) slide(w int) (inserted, removed int, seeds map[int32]bool, err error) {
+	seeds = make(map[int32]bool)
+	if w == 0 {
+		for _, e := range r.log.Slice(r.spec.Start(0), r.spec.End(0)) {
+			if _, err := r.g.InsertEventAt(e.U, e.V, e.T); err != nil {
+				return 0, 0, nil, err
+			}
+			inserted++
+		}
+		return inserted, 0, seeds, nil
+	}
+	// Departing: events of window w-1 that precede window w.
+	depHi := r.spec.End(w - 1)
+	if s := r.spec.Start(w) - 1; s < depHi {
+		depHi = s
+	}
+	for _, e := range r.log.Slice(r.spec.Start(w-1), depHi) {
+		if _, err := r.g.RemoveEvent(e.U, e.V); err != nil {
+			return 0, 0, nil, err
+		}
+		removed++
+		seeds[e.U] = true
+		seeds[e.V] = true
+	}
+	// Entering: events of window w that follow window w-1.
+	entLo := r.spec.Start(w)
+	if s := r.spec.End(w-1) + 1; s > entLo {
+		entLo = s
+	}
+	for _, e := range r.log.Slice(entLo, r.spec.End(w)) {
+		if _, err := r.g.InsertEventAt(e.U, e.V, e.T); err != nil {
+			return 0, 0, nil, err
+		}
+		inserted++
+		seeds[e.U] = true
+		seeds[e.V] = true
+	}
+	return inserted, removed, seeds, nil
+}
+
+// loop runs body over [0, n), on the pool when available.
+func (r *Runner) loop(n int, body func(lo, hi int)) {
+	if r.pool == nil {
+		body(0, n)
+		return
+	}
+	grain := r.cfg.Grain
+	if grain < 1 {
+		grain = 1
+	}
+	r.pool.ParallelFor(n, grain, r.cfg.Partitioner, func(_ *sched.Worker, lo, hi int) { body(lo, hi) })
+}
+
+// solve runs the power iteration on the current graph, optionally warm
+// starting from the previous solution.
+func (r *Runner) solve(st *WindowStats, warm bool) {
+	n := int(r.g.NumVertices())
+	var naA atomic.Int32
+	active := make([]bool, n)
+	r.loop(n, func(lo, hi int) {
+		var c int32
+		for v := lo; v < hi; v++ {
+			if r.g.Active(int32(v)) {
+				active[v] = true
+				c++
+			} else {
+				active[v] = false
+			}
+		}
+		naA.Add(c)
+	})
+	na := naA.Load()
+	st.ActiveVertices = na
+	if na == 0 {
+		for v := range r.x {
+			r.x[v] = 0
+		}
+		st.Converged = true
+		return
+	}
+	uniform := 1 / float64(na)
+	if warm {
+		var sumA atomicFloat64
+		r.loop(n, func(lo, hi int) {
+			var s float64
+			for v := lo; v < hi; v++ {
+				if active[v] && r.x[v] > 0 {
+					s += r.x[v]
+				}
+			}
+			sumA.add(s)
+		})
+		if sum := sumA.load(); sum > 0 {
+			r.loop(n, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					switch {
+					case !active[v]:
+						r.x[v] = 0
+					case r.x[v] > 0:
+						r.x[v] /= sum
+					default:
+						r.x[v] = uniform
+					}
+				}
+			})
+			// Renormalize to account for the uniform entries added for
+			// fresh vertices.
+			var tot atomicFloat64
+			r.loop(n, func(lo, hi int) {
+				var s float64
+				for v := lo; v < hi; v++ {
+					s += r.x[v]
+				}
+				tot.add(s)
+			})
+			inv := 1 / tot.load()
+			r.loop(n, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					r.x[v] *= inv
+				}
+			})
+		} else {
+			warm = false
+		}
+	}
+	if !warm {
+		r.loop(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if active[v] {
+					r.x[v] = uniform
+				} else {
+					r.x[v] = 0
+				}
+			}
+		})
+	}
+
+	y := make([]float64, n)
+	z := make([]float64, n)
+	opt := r.cfg.Opts
+	invNA := 1 / float64(na)
+	for it := 0; it < opt.MaxIter; it++ {
+		st.Iterations = it + 1
+		var danglingA atomicFloat64
+		r.loop(n, func(lo, hi int) {
+			var d float64
+			for u := lo; u < hi; u++ {
+				if deg := r.g.OutDegree(int32(u)); deg > 0 {
+					z[u] = r.x[u] / float64(deg)
+				} else {
+					z[u] = 0
+					if active[u] {
+						d += r.x[u]
+					}
+				}
+			}
+			danglingA.add(d)
+		})
+		base := opt.Alpha*invNA + (1-opt.Alpha)*danglingA.load()*invNA
+		var deltaA atomicFloat64
+		r.loop(n, func(lo, hi int) {
+			var delta float64
+			for v := lo; v < hi; v++ {
+				if !active[v] {
+					y[v] = 0
+					continue
+				}
+				var acc float64
+				r.g.ForEachInNeighbor(int32(v), func(u int32) { acc += z[u] })
+				nv := base + (1-opt.Alpha)*acc
+				delta += math.Abs(nv - r.x[v])
+				y[v] = nv
+			}
+			deltaA.add(delta)
+		})
+		r.x, y = y, r.x
+		if deltaA.load() < opt.Tol {
+			st.Converged = true
+			break
+		}
+	}
+}
+
+// solveFrontier performs the Riedy-style incremental update: only
+// vertices transitively affected by the batch are recomputed, expanding
+// the frontier while per-vertex changes exceed a local threshold.
+func (r *Runner) solveFrontier(st *WindowStats, seeds map[int32]bool) {
+	n := int(r.g.NumVertices())
+	na := r.g.ActiveCount()
+	st.ActiveVertices = na
+	if na == 0 {
+		for v := range r.x {
+			r.x[v] = 0
+		}
+		st.Converged = true
+		return
+	}
+	uniform := 1 / float64(na)
+	inFrontier := make([]bool, n)
+	var frontier []int32
+	push := func(v int32) {
+		if !inFrontier[v] {
+			inFrontier[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	for v := range seeds {
+		push(v)
+		// A changed out-degree of v rescales its contribution to every
+		// out-neighbor.
+		r.g.ForEachOutNeighbor(v, push)
+	}
+	// Vertices that left or joined the active set need their values
+	// reset before iterating.
+	for v := int32(0); v < int32(n); v++ {
+		act := r.g.Active(v)
+		if !act && r.x[v] != 0 {
+			r.x[v] = 0
+			push(v)
+			r.g.ForEachOutNeighbor(v, push)
+		}
+		if act && r.x[v] == 0 {
+			r.x[v] = uniform
+			push(v)
+			r.g.ForEachOutNeighbor(v, push)
+		}
+	}
+
+	opt := r.cfg.Opts
+	invNA := 1 / float64(na)
+	local := opt.Tol * invNA
+	for it := 0; it < opt.MaxIter; it++ {
+		st.Iterations = it + 1
+		var dangling float64
+		for u := int32(0); u < int32(n); u++ {
+			if r.g.Active(u) && r.g.OutDegree(u) == 0 {
+				dangling += r.x[u]
+			}
+		}
+		base := opt.Alpha*invNA + (1-opt.Alpha)*dangling*invNA
+		var delta float64
+		cur := frontier
+		for _, v := range cur {
+			if !r.g.Active(v) {
+				continue
+			}
+			var acc float64
+			r.g.ForEachInNeighbor(v, func(u int32) {
+				if deg := r.g.OutDegree(u); deg > 0 {
+					acc += r.x[u] / float64(deg)
+				}
+			})
+			nv := base + (1-opt.Alpha)*acc
+			d := math.Abs(nv - r.x[v])
+			r.x[v] = nv // Gauss-Seidel in place
+			delta += d
+			if d > local {
+				r.g.ForEachOutNeighbor(v, push)
+			}
+		}
+		if delta < opt.Tol {
+			st.Converged = true
+			break
+		}
+	}
+	// Untouched stale values can leave the vector slightly off unit
+	// mass; renormalize over the active set.
+	var sum float64
+	for v := int32(0); v < int32(n); v++ {
+		if r.g.Active(v) {
+			sum += r.x[v]
+		} else {
+			r.x[v] = 0
+		}
+	}
+	if sum > 0 {
+		inv := 1 / sum
+		for v := range r.x {
+			r.x[v] *= inv
+		}
+	}
+}
+
+// atomicFloat64 mirrors the accumulator in internal/core (kept local to
+// avoid a dependency from a baseline onto the contribution package).
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat64) add(delta float64) {
+	if delta == 0 {
+		return
+	}
+	for {
+		old := a.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat64) load() float64 { return math.Float64frombits(a.bits.Load()) }

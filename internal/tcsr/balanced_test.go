@@ -1,0 +1,154 @@
+package tcsr
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmpr/internal/events"
+)
+
+// burstyLog produces a log where most events sit in a narrow burst, the
+// regime the balanced partitioner targets.
+func burstyLog(t *testing.T, seed int64) *events.Log {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var evs []events.Event
+	tcur := int64(0)
+	add := func(n int, step int64) {
+		for i := 0; i < n; i++ {
+			tcur += rng.Int63n(step) + 1
+			evs = append(evs, ev(int32(rng.Intn(40)), int32(rng.Intn(40)), tcur))
+		}
+	}
+	add(50, 50) // sparse prefix
+	add(500, 1) // burst
+	add(50, 50) // sparse suffix
+	l, err := events.NewLog(evs, 40)
+	if err != nil {
+		t.Fatalf("NewLog: %v", err)
+	}
+	return l
+}
+
+func TestBuildBalancedSameWindowGraphs(t *testing.T) {
+	l := burstyLog(t, 91)
+	spec, err := events.Span(l, 300, 120)
+	if err != nil {
+		t.Fatalf("Span: %v", err)
+	}
+	uni, err := Build(l, spec, 4, true)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	bal, err := BuildBalanced(l, spec, 4, true)
+	if err != nil {
+		t.Fatalf("BuildBalanced: %v", err)
+	}
+	// Identical per-window edge sets regardless of the partitioning.
+	for w := 0; w < spec.Count; w++ {
+		a := directedActiveEdges(uni.ForWindow(w), w)
+		b := directedActiveEdges(bal.ForWindow(w), w)
+		if len(a) != len(b) {
+			t.Fatalf("window %d: %d vs %d edges", w, len(a), len(b))
+		}
+		for e := range a {
+			if !b[e] {
+				t.Fatalf("window %d: balanced missing edge %v", w, e)
+			}
+		}
+	}
+}
+
+func TestBuildBalancedPartitionIsValid(t *testing.T) {
+	l := burstyLog(t, 92)
+	for _, numMW := range []int{1, 2, 3, 5, 9} {
+		spec, err := events.Span(l, 400, 90)
+		if err != nil {
+			t.Fatalf("Span: %v", err)
+		}
+		tg, err := BuildBalanced(l, spec, numMW, true)
+		if err != nil {
+			t.Fatalf("BuildBalanced(%d): %v", numMW, err)
+		}
+		prevHi := 0
+		for _, mw := range tg.MWs {
+			if mw.WinLo != prevHi || mw.WinHi <= mw.WinLo {
+				t.Fatalf("numMW=%d: invalid MW range [%d, %d) after %d", numMW, mw.WinLo, mw.WinHi, prevHi)
+			}
+			prevHi = mw.WinHi
+		}
+		if prevHi != spec.Count {
+			t.Fatalf("numMW=%d: partition covers %d of %d windows", numMW, prevHi, spec.Count)
+		}
+		want := numMW
+		if want > spec.Count {
+			want = spec.Count
+		}
+		if len(tg.MWs) != want {
+			t.Fatalf("numMW=%d: got %d MWs", numMW, len(tg.MWs))
+		}
+	}
+}
+
+func TestBuildBalancedEvensLoad(t *testing.T) {
+	l := burstyLog(t, 93)
+	spec, err := events.Span(l, 200, 80)
+	if err != nil {
+		t.Fatalf("Span: %v", err)
+	}
+	imbalance := func(tg *Temporal) float64 {
+		var maxE, sum int
+		for _, mw := range tg.MWs {
+			if mw.NumEvents() > maxE {
+				maxE = mw.NumEvents()
+			}
+			sum += mw.NumEvents()
+		}
+		return float64(maxE) / (float64(sum) / float64(len(tg.MWs)))
+	}
+	uni, err := Build(l, spec, 4, true)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	bal, err := BuildBalanced(l, spec, 4, true)
+	if err != nil {
+		t.Fatalf("BuildBalanced: %v", err)
+	}
+	if len(uni.MWs) != len(bal.MWs) {
+		t.Fatalf("MW counts differ: %d vs %d", len(uni.MWs), len(bal.MWs))
+	}
+	if imbalance(bal) >= imbalance(uni) {
+		t.Fatalf("balanced partition not more even: %.2f vs %.2f", imbalance(bal), imbalance(uni))
+	}
+}
+
+func TestBuildBalancedValidation(t *testing.T) {
+	l := burstyLog(t, 94)
+	spec, _ := events.Span(l, 200, 80)
+	if _, err := BuildBalanced(l, spec, 0, true); err == nil {
+		t.Fatal("numMW=0 accepted")
+	}
+	if _, err := BuildBalanced(l, events.WindowSpec{}, 2, true); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	// Clamp when numMW > Count.
+	tg, err := BuildBalanced(l, spec, 10000, true)
+	if err != nil {
+		t.Fatalf("BuildBalanced: %v", err)
+	}
+	if len(tg.MWs) != spec.Count {
+		t.Fatalf("got %d MWs, want %d", len(tg.MWs), spec.Count)
+	}
+}
+
+func TestBuildBalancedSingleMW(t *testing.T) {
+	l := burstyLog(t, 95)
+	spec, _ := events.Span(l, 200, 80)
+	tg, err := BuildBalanced(l, spec, 1, true)
+	if err != nil {
+		t.Fatalf("BuildBalanced: %v", err)
+	}
+	if len(tg.MWs) != 1 || tg.MWs[0].WinLo != 0 || tg.MWs[0].WinHi != spec.Count {
+		t.Fatalf("single MW wrong: %+v", tg.MWs[0])
+	}
+}

@@ -1,0 +1,128 @@
+package tcsr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pmpr/internal/events"
+)
+
+// naiveWindowAdjacency builds the undirected deduplicated adjacency of
+// one window straight from the event list.
+func naiveWindowAdjacency(l *events.Log, ts, te int64, n int32) map[int32]map[int32]bool {
+	adj := make(map[int32]map[int32]bool)
+	add := func(a, b int32) {
+		if adj[a] == nil {
+			adj[a] = make(map[int32]bool)
+		}
+		adj[a][b] = true
+	}
+	for _, e := range l.Slice(ts, te) {
+		add(e.U, e.V)
+		add(e.V, e.U)
+	}
+	return adj
+}
+
+func TestMaterializeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 20; trial++ {
+		n := int32(rng.Intn(25) + 2)
+		evs := randomTemporalLog(rng, n, rng.Intn(300)+10, 1500)
+		l, _ := events.NewLog(evs, n)
+		spec, err := events.Span(l, int64(rng.Intn(300)+1), int64(rng.Intn(120)+1))
+		if err != nil {
+			t.Fatalf("Span: %v", err)
+		}
+		for _, directed := range []bool{true, false} {
+			src := l
+			if !directed {
+				src = l.Symmetrize()
+			}
+			tg, err := Build(src, spec, 3, directed)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			var view WindowView
+			for w := 0; w < spec.Count; w++ {
+				mw := tg.ForWindow(w)
+				mw.Materialize(w, &view)
+				want := naiveWindowAdjacency(src, spec.Start(w), spec.End(w), n)
+				var wantActive int32
+				for v := int32(0); v < mw.NumLocal(); v++ {
+					g := mw.GlobalID(v)
+					got := view.Col[view.Row[v]:view.Row[v+1]]
+					if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+						t.Fatalf("trial %d w %d: neighbors unsorted", trial, w)
+					}
+					for k := 1; k < len(got); k++ {
+						if got[k] == got[k-1] {
+							t.Fatalf("trial %d w %d: duplicate neighbor", trial, w)
+						}
+					}
+					if len(got) != len(want[g]) {
+						t.Fatalf("trial %d w %d vertex %d: %d neighbors, want %d (directed=%v)",
+							trial, w, g, len(got), len(want[g]), directed)
+					}
+					for _, nb := range got {
+						if !want[g][mw.GlobalID(nb)] {
+							t.Fatalf("trial %d w %d: phantom neighbor %d of %d", trial, w, mw.GlobalID(nb), g)
+						}
+					}
+					if view.Active[v] != (len(want[g]) > 0) {
+						t.Fatalf("trial %d w %d vertex %d: active=%v want %v", trial, w, g, view.Active[v], len(want[g]) > 0)
+					}
+					if len(want[g]) > 0 {
+						wantActive++
+					}
+				}
+				if view.NumActive != wantActive {
+					t.Fatalf("trial %d w %d: NumActive=%d want %d", trial, w, view.NumActive, wantActive)
+				}
+			}
+		}
+	}
+}
+
+func TestMaterializeBufferReuse(t *testing.T) {
+	l, _ := events.NewLog([]events.Event{
+		ev(0, 1, 0), ev(1, 2, 5), ev(2, 3, 10), ev(3, 0, 15),
+	}, 4)
+	spec := events.WindowSpec{T0: 0, Delta: 7, Slide: 5, Count: 3}
+	tg, err := Build(l, spec, 1, true)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var view WindowView
+	mw := tg.MWs[0]
+	mw.Materialize(0, &view)
+	colPtr := &view.Col[:1][0]
+	mw.Materialize(1, &view) // smaller or equal — must reuse buffers
+	if len(view.Col) > 0 && &view.Col[:1][0] != colPtr {
+		t.Fatal("Col buffer reallocated despite sufficient capacity")
+	}
+	// Correct content after reuse.
+	mw.Materialize(2, &view)
+	loc := mw.LocalID(2)
+	got := view.Col[view.Row[loc]:view.Row[loc+1]]
+	// Window 2 = [10,17]: events (2,3,10) and (3,0,15): vertex 2 has
+	// neighbor 3 only.
+	if len(got) != 1 || mw.GlobalID(got[0]) != 3 {
+		t.Fatalf("window 2 adjacency of vertex 2 = %v", got)
+	}
+}
+
+func TestMaterializeEmptyWindow(t *testing.T) {
+	l, _ := events.NewLog([]events.Event{ev(0, 1, 0)}, 2)
+	spec := events.WindowSpec{T0: 0, Delta: 1, Slide: 100, Count: 2}
+	tg, err := Build(l, spec, 1, true)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var view WindowView
+	tg.MWs[0].Materialize(1, &view)
+	if view.NumActive != 0 || view.Row[len(view.Row)-1] != 0 {
+		t.Fatalf("empty window produced %d active, %d edges", view.NumActive, view.Row[len(view.Row)-1])
+	}
+}

@@ -1,0 +1,232 @@
+// Package wcc computes connected components on every window of a
+// temporal graph, postmortem-style. The paper focuses on PageRank but
+// names connected components among the analyses the sliding-window
+// formulation supports (Sec. 3.1); this engine reuses the same
+// multi-window temporal CSR and window-level parallelism.
+//
+// Components are weak: edge direction is ignored (the per-window view
+// merges in- and out-adjacency). Each window is solved with union-find
+// (path halving + union by size) over the materialized window view.
+package wcc
+
+import (
+	"fmt"
+
+	"pmpr/internal/events"
+	"pmpr/internal/sched"
+	"pmpr/internal/tcsr"
+)
+
+// Config controls a components run.
+type Config struct {
+	// NumMultiWindows partitions the window sequence (see tcsr.Build).
+	NumMultiWindows int
+	// BalancedPartition splits by event load instead of uniformly.
+	BalancedPartition bool
+	// Directed controls the representation build; components always
+	// treat edges as undirected.
+	Directed bool
+	// Partitioner and Grain configure the window-level loop.
+	Partitioner sched.Partitioner
+	Grain       int
+	// KeepLabels retains each window's component labeling (otherwise
+	// only summary statistics are kept).
+	KeepLabels bool
+}
+
+// DefaultConfig mirrors the PageRank engine's defaults.
+func DefaultConfig() Config {
+	return Config{NumMultiWindows: 6, Partitioner: sched.Auto, Grain: 2}
+}
+
+// WindowResult summarizes one window's component structure.
+type WindowResult struct {
+	Window         int
+	ActiveVertices int32
+	// Components is the number of connected components among active
+	// vertices (isolated vertices are not counted).
+	Components int32
+	// LargestSize is the vertex count of the largest component.
+	LargestSize int32
+
+	labels []int32 // per-local-vertex component root, -1 for inactive
+	mw     *tcsr.MultiWindow
+}
+
+// Label returns the component id of the global vertex (an arbitrary but
+// consistent active vertex id within the window), or -1 when the vertex
+// is inactive or labels were not kept.
+func (r *WindowResult) Label(global int32) int32 {
+	if r.labels == nil {
+		return -1
+	}
+	local := r.mw.LocalID(global)
+	if local < 0 {
+		return -1
+	}
+	if l := r.labels[local]; l >= 0 {
+		return r.mw.GlobalID(l)
+	}
+	return -1
+}
+
+// SameComponent reports whether two global vertices are connected in
+// this window. It requires kept labels.
+func (r *WindowResult) SameComponent(a, b int32) bool {
+	la, lb := r.Label(a), r.Label(b)
+	return la >= 0 && la == lb
+}
+
+// Series is the per-window component summary sequence.
+type Series struct {
+	Spec    events.WindowSpec
+	Results []WindowResult
+}
+
+// Window returns the result for window i.
+func (s *Series) Window(i int) *WindowResult { return &s.Results[i] }
+
+// Len returns the number of windows.
+func (s *Series) Len() int { return len(s.Results) }
+
+// Engine computes the series.
+type Engine struct {
+	tg   *tcsr.Temporal
+	cfg  Config
+	pool *sched.Pool
+}
+
+// NewEngine builds the temporal representation for l under spec.
+func NewEngine(l *events.Log, spec events.WindowSpec, cfg Config, pool *sched.Pool) (*Engine, error) {
+	if cfg.NumMultiWindows < 1 {
+		return nil, fmt.Errorf("wcc: NumMultiWindows %d must be >= 1", cfg.NumMultiWindows)
+	}
+	build := tcsr.Build
+	if cfg.BalancedPartition {
+		build = tcsr.BuildBalanced
+	}
+	tg, err := build(l, spec, cfg.NumMultiWindows, cfg.Directed)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{tg: tg, cfg: cfg, pool: pool}, nil
+}
+
+// NewEngineFromTemporal reuses an existing representation.
+func NewEngineFromTemporal(tg *tcsr.Temporal, cfg Config, pool *sched.Pool) (*Engine, error) {
+	if tg == nil {
+		return nil, fmt.Errorf("wcc: nil temporal representation")
+	}
+	return &Engine{tg: tg, cfg: cfg, pool: pool}, nil
+}
+
+// Temporal exposes the representation.
+func (e *Engine) Temporal() *tcsr.Temporal { return e.tg }
+
+// Run computes components for every window. Windows run in parallel on
+// the pool (the kernel itself is sequential, as in the offline model);
+// a nil pool runs serially.
+func (e *Engine) Run() (*Series, error) {
+	count := e.tg.Spec.Count
+	results := make([]WindowResult, count)
+	body := func(lo, hi int) {
+		var view tcsr.WindowView
+		var uf unionFind
+		for w := lo; w < hi; w++ {
+			results[w] = e.solveWindow(w, &view, &uf)
+		}
+	}
+	if e.pool == nil {
+		body(0, count)
+	} else {
+		grain := e.cfg.Grain
+		if grain < 1 {
+			grain = 1
+		}
+		e.pool.ParallelFor(count, grain, e.cfg.Partitioner, func(_ *sched.Worker, lo, hi int) {
+			body(lo, hi)
+		})
+	}
+	return &Series{Spec: e.tg.Spec, Results: results}, nil
+}
+
+func (e *Engine) solveWindow(w int, view *tcsr.WindowView, uf *unionFind) WindowResult {
+	mw := e.tg.ForWindow(w)
+	mw.Materialize(w, view)
+	n := int(mw.NumLocal())
+	res := WindowResult{Window: w, ActiveVertices: view.NumActive, mw: mw}
+	uf.reset(n)
+	for v := 0; v < n; v++ {
+		for _, u := range view.Col[view.Row[v]:view.Row[v+1]] {
+			uf.union(int32(v), u)
+		}
+	}
+	// Count components and track the largest, over active vertices.
+	var comps, largest int32
+	for v := 0; v < n; v++ {
+		if !view.Active[v] {
+			continue
+		}
+		r := uf.find(int32(v))
+		if int(r) == v {
+			comps++
+		}
+		if uf.size[r] > largest {
+			largest = uf.size[r]
+		}
+	}
+	res.Components = comps
+	res.LargestSize = largest
+	if e.cfg.KeepLabels {
+		labels := make([]int32, n)
+		for v := 0; v < n; v++ {
+			if view.Active[v] {
+				labels[v] = uf.find(int32(v))
+			} else {
+				labels[v] = -1
+			}
+		}
+		res.labels = labels
+	}
+	return res
+}
+
+// unionFind is a reusable union-find with path halving and union by
+// size.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func (u *unionFind) reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int32, n)
+		u.size = make([]int32, n)
+	}
+	u.parent = u.parent[:n]
+	u.size = u.size[:n]
+	for i := 0; i < n; i++ {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+}
+
+func (u *unionFind) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

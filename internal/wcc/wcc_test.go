@@ -1,0 +1,200 @@
+package wcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmpr/internal/events"
+	"pmpr/internal/sched"
+)
+
+func ev(u, v int32, t int64) events.Event { return events.Event{U: u, V: v, T: t} }
+
+func randomLog(t *testing.T, seed int64, n int32, m int, span int64) *events.Log {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]events.Event, m)
+	tcur := int64(0)
+	for i := range evs {
+		tcur += rng.Int63n(span/int64(m) + 1)
+		evs[i] = ev(int32(rng.Intn(int(n))), int32(rng.Intn(int(n))), tcur)
+	}
+	l, err := events.NewLog(evs, n)
+	if err != nil {
+		t.Fatalf("NewLog: %v", err)
+	}
+	return l
+}
+
+// naiveComponents labels window [ts, te] by BFS over the undirected
+// deduplicated edge set; returns (labels, numComponents, largest).
+func naiveComponents(l *events.Log, ts, te int64) (map[int32]int32, int32, int32) {
+	adj := make(map[int32][]int32)
+	seen := make(map[int32]bool)
+	for _, e := range l.Slice(ts, te) {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+		seen[e.U] = true
+		seen[e.V] = true
+	}
+	labels := make(map[int32]int32)
+	var comps, largest int32
+	for v := range seen {
+		if _, done := labels[v]; done {
+			continue
+		}
+		comps++
+		var size int32
+		queue := []int32{v}
+		labels[v] = v
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			size++
+			for _, y := range adj[x] {
+				if _, done := labels[y]; !done {
+					labels[y] = v
+					queue = append(queue, y)
+				}
+			}
+		}
+		if size > largest {
+			largest = size
+		}
+	}
+	return labels, comps, largest
+}
+
+func TestComponentsMatchOracle(t *testing.T) {
+	pool := sched.NewPool(3)
+	defer pool.Close()
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(200 + trial)))
+		n := int32(rng.Intn(40) + 3)
+		l := randomLog(t, int64(300+trial), n, rng.Intn(300)+10, 2000)
+		spec, err := events.Span(l, int64(rng.Intn(400)+1), int64(rng.Intn(150)+1))
+		if err != nil {
+			t.Fatalf("Span: %v", err)
+		}
+		for _, usePool := range []bool{false, true} {
+			p := pool
+			if !usePool {
+				p = nil
+			}
+			cfg := DefaultConfig()
+			cfg.Directed = true
+			cfg.NumMultiWindows = 3
+			cfg.KeepLabels = true
+			eng, err := NewEngine(l, spec, cfg, p)
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			s, err := eng.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for w := 0; w < spec.Count; w++ {
+				labels, comps, largest := naiveComponents(l, spec.Start(w), spec.End(w))
+				r := s.Window(w)
+				if r.Components != comps {
+					t.Fatalf("trial %d w %d: %d components, oracle %d", trial, w, r.Components, comps)
+				}
+				if r.LargestSize != largest {
+					t.Fatalf("trial %d w %d: largest %d, oracle %d", trial, w, r.LargestSize, largest)
+				}
+				if r.ActiveVertices != int32(len(labels)) {
+					t.Fatalf("trial %d w %d: active %d, oracle %d", trial, w, r.ActiveVertices, len(labels))
+				}
+				// Same-component equivalence must match the oracle.
+				for a := range labels {
+					for b := range labels {
+						if r.SameComponent(a, b) != (labels[a] == labels[b]) {
+							t.Fatalf("trial %d w %d: SameComponent(%d,%d) wrong", trial, w, a, b)
+						}
+					}
+					if r.Label(a) < 0 {
+						t.Fatalf("trial %d w %d: active vertex %d unlabeled", trial, w, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLabelsNotKeptByDefault(t *testing.T) {
+	l := randomLog(t, 400, 10, 50, 200)
+	spec, _ := events.Span(l, 100, 50)
+	eng, err := NewEngine(l, spec, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	s, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Window(0).Label(0) != -1 {
+		t.Fatal("labels should be absent without KeepLabels")
+	}
+}
+
+func TestInactiveVertexLabel(t *testing.T) {
+	raw, _ := events.NewLog([]events.Event{ev(0, 1, 5)}, 4)
+	l := raw.Symmetrize() // Directed=false expects a symmetrized log
+	spec := events.WindowSpec{T0: 5, Delta: 1, Slide: 1, Count: 1}
+	cfg := DefaultConfig()
+	cfg.KeepLabels = true
+	eng, _ := NewEngine(l, spec, cfg, nil)
+	s, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Window(0).Label(3) != -1 {
+		t.Fatal("inactive vertex should have label -1")
+	}
+	if s.Window(0).SameComponent(0, 3) {
+		t.Fatal("inactive vertex cannot share a component")
+	}
+	if !s.Window(0).SameComponent(0, 1) {
+		t.Fatal("edge endpoints must share a component")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	l := randomLog(t, 401, 5, 10, 50)
+	spec, _ := events.Span(l, 20, 10)
+	cfg := DefaultConfig()
+	cfg.NumMultiWindows = 0
+	if _, err := NewEngine(l, spec, cfg, nil); err == nil {
+		t.Fatal("NumMultiWindows=0 accepted")
+	}
+	if _, err := NewEngineFromTemporal(nil, DefaultConfig(), nil); err == nil {
+		t.Fatal("nil temporal accepted")
+	}
+}
+
+func TestBalancedPartitionComponents(t *testing.T) {
+	l := randomLog(t, 402, 20, 400, 1500)
+	spec, _ := events.Span(l, 300, 100)
+	mk := func(balanced bool) *Series {
+		cfg := DefaultConfig()
+		cfg.Directed = true
+		cfg.NumMultiWindows = 4
+		cfg.BalancedPartition = balanced
+		eng, err := NewEngine(l, spec, cfg, nil)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		s, err := eng.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return s
+	}
+	a, b := mk(false), mk(true)
+	for w := 0; w < spec.Count; w++ {
+		if a.Window(w).Components != b.Window(w).Components ||
+			a.Window(w).LargestSize != b.Window(w).LargestSize {
+			t.Fatalf("window %d: partitioning changed the result", w)
+		}
+	}
+}
