@@ -5,7 +5,8 @@
 //
 //	pmbench -list
 //	pmbench -exp fig5 [-scale 0.2] [-seed 1] [-workers 0] [-quick] [-max-windows 384]
-//	pmbench -exp all
+//	pmbench -exp all [-json BENCH_run.json] [-metrics-addr :8080]
+//	        [-trace-out sched.trace.json] [-report-out last-report.json]
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"runtime"
 
 	"pmpr/internal/bench"
+	"pmpr/internal/core"
+	"pmpr/internal/obs"
 )
 
 func main() {
@@ -26,8 +29,18 @@ func main() {
 		quick   = flag.Bool("quick", false, "trim sweeps for a fast pass")
 		maxWin  = flag.Int("max-windows", 0, "cap windows per spec (0 = default)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+
+		jsonOut     = flag.String("json", "", "write machine-readable results (pmpr-bench/v1) to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of every engine run's schedule")
+		reportOut   = flag.String("report-out", "", "write the last engine run's report JSON")
+		version     = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("pmbench", obs.CollectBuildInfo())
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -47,11 +60,55 @@ func main() {
 		Quick:      *quick,
 		MaxWindows: *maxWin,
 	}
+	// Any observability output wants the scheduler counters in reports.
+	o.PoolMetrics = *jsonOut != "" || *metricsAddr != "" || *traceOut != "" || *reportOut != ""
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.NewRegistry())
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/ (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
+	}
+
+	var jr *bench.JSONReport
+	if *jsonOut != "" {
+		jr = bench.NewJSONReport(o)
+		o.ReportSink = jr.Sink()
+	}
+	var lastReport *core.RunReport
+	if *reportOut != "" {
+		prev := o.ReportSink
+		o.ReportSink = func(r *core.RunReport) {
+			if prev != nil {
+				prev(r)
+			}
+			lastReport = r
+		}
+	}
+	if *traceOut != "" {
+		o.Trace = obs.NewTrace()
+	}
+
+	runOne := func(e bench.Experiment) error {
+		if jr != nil {
+			return jr.RunExperiment(e, o)
+		}
+		return e.Run(o)
+	}
+
 	fmt.Printf("pmbench: GOMAXPROCS=%d scale=%g seed=%d quick=%v\n",
 		runtime.GOMAXPROCS(0), *scale, *seed, *quick)
 	var err error
 	if *exp == "all" {
-		err = bench.RunAll(o)
+		for _, e := range bench.Experiments() {
+			fmt.Printf("\n=== %s: %s ===\n", e.ID, e.Title)
+			if err = runOne(e); err != nil {
+				err = fmt.Errorf("%s: %w", e.ID, err)
+				break
+			}
+		}
 	} else {
 		e, ok := bench.Get(*exp)
 		if !ok {
@@ -59,10 +116,40 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		err = e.Run(o)
+		err = runOne(e)
+	}
+
+	// Flush observability artifacts even when an experiment failed: a
+	// partial trajectory beats none.
+	if jr != nil {
+		if werr := jr.WriteFile(*jsonOut); werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("results written to %s (%d experiments, %d engine runs)\n",
+			*jsonOut, len(jr.Experiments), len(jr.EngineRuns))
+	}
+	if *reportOut != "" {
+		if lastReport == nil {
+			fmt.Fprintln(os.Stderr, "pmbench: -report-out: no engine run produced a report")
+		} else {
+			if werr := lastReport.WriteJSONFile(*reportOut); werr != nil {
+				fatal(werr)
+			}
+			fmt.Printf("last run report written to %s\n", *reportOut)
+		}
+	}
+	if o.Trace != nil {
+		if werr := o.Trace.WriteFile(*traceOut); werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("schedule trace written to %s (%d events; load in Perfetto)\n", *traceOut, o.Trace.Len())
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pmbench: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pmbench: %v\n", err)
+	os.Exit(1)
 }

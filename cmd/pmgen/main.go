@@ -16,6 +16,7 @@ import (
 	"pmpr/internal/analysis"
 	"pmpr/internal/events"
 	"pmpr/internal/gen"
+	"pmpr/internal/obs"
 )
 
 func main() {
@@ -27,8 +28,13 @@ func main() {
 		format  = flag.String("format", "text", "output format: text or binary")
 		list    = flag.Bool("list", false, "list available profiles and exit")
 		stats   = flag.Bool("stats", false, "print the edge-distribution histogram to stderr")
+		version = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("pmgen", obs.CollectBuildInfo())
+		return
+	}
 
 	if *list {
 		for _, name := range gen.Names() {

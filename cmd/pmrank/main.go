@@ -10,6 +10,8 @@
 //	       [-partitioner auto|simple|static] [-no-partial] [-directed] \
 //	       [-top 5] [-every 10] [-workers 0] [-out ranks.pmrs]
 //	       [-model postmortem|offline|streaming|components|kcore]
+//	       [-metrics-addr :8080] [-trace-out run.trace.json]
+//	       [-report-out report.json] [-discard-ranks]
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"pmpr/internal/events"
 	"pmpr/internal/gen"
 	"pmpr/internal/kcore"
+	"pmpr/internal/obs"
 	"pmpr/internal/offline"
 	"pmpr/internal/results"
 	"pmpr/internal/sched"
@@ -49,13 +52,27 @@ func main() {
 		workers   = flag.Int("workers", 0, "pool size (0 = GOMAXPROCS)")
 		model     = flag.String("model", "postmortem", "analysis: postmortem, offline, streaming, components, kcore or closeness")
 		out       = flag.String("out", "", "write the rank series to this file (postmortem model only)")
+
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON of the schedule (postmortem model only)")
+		reportOut    = flag.String("report-out", "", "write the run report JSON (postmortem model only)")
+		discardRanks = flag.Bool("discard-ranks", false, "drop rank vectors after convergence (timing-only runs)")
+		version      = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("pmrank", obs.CollectBuildInfo())
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "pmrank: -in is required")
 		os.Exit(2)
 	}
+	if *model != "postmortem" && (*traceOut != "" || *reportOut != "" || *discardRanks) {
+		fmt.Fprintln(os.Stderr, "pmrank: -trace-out/-report-out/-discard-ranks apply to the postmortem model only; ignoring")
+	}
 
+	loadStart := time.Now()
 	l, err := readLog(*in)
 	if err != nil {
 		fatal(err)
@@ -63,6 +80,7 @@ func main() {
 	if !*directed {
 		l = l.Symmetrize()
 	}
+	loadSeconds := time.Since(loadStart).Seconds()
 	spec, err := events.Span(l, int64(*deltaDays*float64(gen.Day)), *slide)
 	if err != nil {
 		fatal(err)
@@ -75,6 +93,24 @@ func main() {
 
 	pool := sched.NewPool(*workers)
 	defer pool.Close()
+	observing := *metricsAddr != "" || *traceOut != "" || *reportOut != ""
+	if observing {
+		pool.EnableMetrics(true)
+	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Gauge("pmpr_events_total", "events in the loaded log", func() float64 { return float64(l.Len()) })
+		reg.Gauge("pmpr_workers", "scheduler pool size", func() float64 { return float64(pool.NumWorkers()) })
+		reg.Gauge("pmpr_sched_tasks_total", "fork-join leaf tasks executed", func() float64 { return float64(pool.Stats().TotalTasks()) })
+		reg.Gauge("pmpr_sched_steals_total", "tasks obtained by stealing", func() float64 { return float64(pool.Stats().TotalSteals()) })
+		reg.Gauge("pmpr_sched_splits_total", "range splits performed", func() float64 { return float64(pool.Stats().TotalSplits()) })
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/ (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
+	}
 	step := *every
 	if step == 0 {
 		step = spec.Count / 10
@@ -95,9 +131,15 @@ func main() {
 		cfg.Grain = *grain
 		cfg.PartialInit = !*noPartial
 		cfg.Directed = *directed
+		cfg.DiscardRanks = *discardRanks
 		eng, err := core.NewEngine(l, spec, cfg, pool)
 		if err != nil {
 			fatal(err)
+		}
+		var tr *obs.Trace
+		if *traceOut != "" {
+			tr = obs.NewTrace()
+			eng.SetTrace(tr)
 		}
 		s, err := eng.Run()
 		if err != nil {
@@ -106,17 +148,40 @@ func main() {
 		elapsed := time.Since(start)
 		for w := 0; w < s.Len(); w += step {
 			r := s.Window(w)
-			fmt.Printf("window %4d [%d..%d]: |V|=%d iters=%d top%d=",
-				w, spec.Start(w), spec.End(w), r.ActiveVertices, r.Iterations, *top)
-			for _, rk := range r.TopK(*top) {
-				fmt.Printf(" %d:%.4f", rk.Vertex, rk.Rank)
+			fmt.Printf("window %4d [%d..%d]: |V|=%d iters=%d",
+				w, spec.Start(w), spec.End(w), r.ActiveVertices, r.Iterations)
+			if r.HasRanks() {
+				fmt.Printf(" top%d=", *top)
+				for _, rk := range r.TopK(*top) {
+					fmt.Printf(" %d:%.4f", rk.Vertex, rk.Rank)
+				}
 			}
 			fmt.Println()
 		}
 		fmt.Printf("postmortem: %d windows, %d total iterations, %.3fs (stored events %d, memory %.1f MB)\n",
 			s.Len(), s.TotalIterations(), elapsed.Seconds(),
 			eng.Temporal().TotalStoredEvents(), float64(eng.Temporal().MemoryBytes())/(1<<20))
+		if s.Report != nil {
+			s.Report.SetPhase("load", loadSeconds)
+			if *reportOut != "" {
+				if err := s.Report.WriteJSONFile(*reportOut); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("run report written to %s\n", *reportOut)
+			}
+		}
+		if tr != nil {
+			if err := tr.WriteFile(*traceOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("schedule trace written to %s (%d events; load in Perfetto)\n", *traceOut, tr.Len())
+		}
 		if *out != "" {
+			if s.Len() > 0 {
+				if _, ok := s.Window(0).RankOK(0); !ok {
+					fatal(fmt.Errorf("-out needs retained rank vectors; drop -discard-ranks"))
+				}
+			}
 			f, err := os.Create(*out)
 			if err != nil {
 				fatal(err)

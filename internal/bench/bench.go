@@ -15,6 +15,7 @@ import (
 	"pmpr/internal/core"
 	"pmpr/internal/events"
 	"pmpr/internal/gen"
+	"pmpr/internal/obs"
 	"pmpr/internal/offline"
 	"pmpr/internal/sched"
 	"pmpr/internal/streaming"
@@ -38,6 +39,24 @@ type Options struct {
 	// streaming baseline stays tractable at small scale; 0 means the
 	// harness default (96 quick / 384 full).
 	MaxWindows int
+	// Trace, when non-nil, receives worker/window spans from every
+	// postmortem engine run the harness performs through its helpers.
+	Trace *obs.Trace
+	// ReportSink, when non-nil, receives the RunReport of every
+	// postmortem engine run performed through the harness helpers.
+	ReportSink func(*core.RunReport)
+	// PoolMetrics turns on scheduler counter collection in every pool
+	// the experiments build, so the reports carry load-balance stats.
+	PoolMetrics bool
+}
+
+// newPool builds an experiment's scheduler pool, honoring PoolMetrics.
+func (o Options) newPool() *sched.Pool {
+	p := sched.NewPool(o.Workers)
+	if o.PoolMetrics {
+		p.EnableMetrics(true)
+	}
+	return p
 }
 
 // Defaults fills unset fields.
@@ -211,12 +230,20 @@ func timeIt(fn func() error) (float64, error) {
 }
 
 // runPostmortem builds (or reuses) an engine and times Run.
-func runPostmortem(l *events.Log, spec events.WindowSpec, cfg core.Config, pool *sched.Pool) (float64, *core.Series, error) {
+func runPostmortem(o Options, l *events.Log, spec events.WindowSpec, cfg core.Config, pool *sched.Pool) (float64, *core.Series, error) {
 	cfg.Directed = false
 	cfg.DiscardRanks = true
 	eng, err := core.NewEngine(l, spec, cfg, pool)
 	if err != nil {
 		return 0, nil, err
+	}
+	return runPostmortemReusing(o, eng)
+}
+
+// runPostmortemReusing times Run on a prebuilt representation.
+func runPostmortemReusing(o Options, eng *core.Engine) (float64, *core.Series, error) {
+	if o.Trace != nil {
+		eng.SetTrace(o.Trace)
 	}
 	var s *core.Series
 	secs, err := timeIt(func() error {
@@ -224,17 +251,9 @@ func runPostmortem(l *events.Log, spec events.WindowSpec, cfg core.Config, pool 
 		s, err = eng.Run()
 		return err
 	})
-	return secs, s, err
-}
-
-// runPostmortemReusing times Run on a prebuilt representation.
-func runPostmortemReusing(eng *core.Engine) (float64, *core.Series, error) {
-	var s *core.Series
-	secs, err := timeIt(func() error {
-		var err error
-		s, err = eng.Run()
-		return err
-	})
+	if err == nil && o.ReportSink != nil && s.Report != nil {
+		o.ReportSink(s.Report)
+	}
 	return secs, s, err
 }
 

@@ -2,11 +2,13 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"pmpr/internal/events"
 	"pmpr/internal/gen"
+	"pmpr/internal/obs"
 )
 
 func quickOptions(buf *bytes.Buffer) Options {
@@ -220,5 +222,55 @@ func TestDeriveOverlapSpecKeepsSlide(t *testing.T) {
 	}
 	if spec.Count != 10 {
 		t.Fatalf("count = %d, want truncation to 10", spec.Count)
+	}
+}
+
+func TestJSONReportCapturesExperimentAndEngineRuns(t *testing.T) {
+	var buf bytes.Buffer
+	o := quickOptions(&buf)
+	o.PoolMetrics = true
+	o.Trace = obs.NewTrace()
+	jr := NewJSONReport(o)
+	o.ReportSink = jr.Sink()
+
+	e, ok := Get("fig6")
+	if !ok {
+		t.Fatal("fig6 not registered")
+	}
+	if err := jr.RunExperiment(e, o); err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+	if len(jr.Experiments) != 1 || jr.Experiments[0].ID != "fig6" ||
+		jr.Experiments[0].Seconds <= 0 || jr.Experiments[0].Error != "" {
+		t.Fatalf("experiment record wrong: %+v", jr.Experiments)
+	}
+	if jr.TotalSeconds <= 0 {
+		t.Fatalf("total seconds %v", jr.TotalSeconds)
+	}
+	// fig6 runs the postmortem engine (full vs partial init), so the
+	// sink must have collected engine summaries with sched stats.
+	if len(jr.EngineRuns) == 0 {
+		t.Fatal("no engine run summaries collected")
+	}
+	for _, r := range jr.EngineRuns {
+		if r.Windows <= 0 || r.WallSeconds <= 0 || r.TotalSweeps <= 0 {
+			t.Fatalf("bad engine summary: %+v", r)
+		}
+	}
+	if o.Trace.Len() == 0 {
+		t.Fatal("harness trace collected no spans")
+	}
+
+	var out bytes.Buffer
+	if err := jr.WriteJSON(&out); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back JSONReport
+	if err := json.Unmarshal(out.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Schema != JSONSchema || back.Workers != o.Workers ||
+		len(back.EngineRuns) != len(jr.EngineRuns) {
+		t.Fatalf("round-trip mismatch: %+v", back)
 	}
 }

@@ -87,7 +87,7 @@ func expFig5(o Options) error {
 	if o.Quick {
 		cases = cases[:2]
 	}
-	pool := sched.NewPool(o.Workers)
+	pool := o.newPool()
 	defer pool.Close()
 	t := NewTable("dataset", "sw(s)", "delta(d)", "windows", "offline(s)", "streaming(s)", "post-bare(s)", "post-tuned(s)", "stream/tuned", "off/tuned")
 	for _, c := range cases {
@@ -112,11 +112,11 @@ func expFig5(o Options) error {
 			if err != nil {
 				return err
 			}
-			postT, _, err := runPostmortem(l, spec, barebonePostmortem(), pool)
+			postT, _, err := runPostmortem(o, l, spec, barebonePostmortem(), pool)
 			if err != nil {
 				return err
 			}
-			tunedT, _, err := runPostmortem(l, spec, suggestedConfig(spec), pool)
+			tunedT, _, err := runPostmortem(o, l, spec, suggestedConfig(spec), pool)
 			if err != nil {
 				return err
 			}
@@ -135,7 +135,7 @@ func expFig6(o Options) error {
 		datasets = datasets[1:]
 		deltas = []float64{10, 90}
 	}
-	pool := sched.NewPool(o.Workers)
+	pool := o.newPool()
 	defer pool.Close()
 	t := NewTable("dataset", "delta(d)", "windows", "full(s)", "partial(s)", "speedup", "full iters", "partial iters")
 	for _, name := range datasets {
@@ -150,12 +150,12 @@ func expFig6(o Options) error {
 			}
 			cfg := barebonePostmortem()
 			cfg.PartialInit = false
-			fullT, fullS, err := runPostmortem(l, spec, cfg, pool)
+			fullT, fullS, err := runPostmortem(o, l, spec, cfg, pool)
 			if err != nil {
 				return err
 			}
 			cfg.PartialInit = true
-			partT, partS, err := runPostmortem(l, spec, cfg, pool)
+			partT, partS, err := runPostmortem(o, l, spec, cfg, pool)
 			if err != nil {
 				return err
 			}
@@ -184,7 +184,7 @@ func makeGrainFigure(windows int, deltaDays float64) func(o Options) error {
 		if err != nil {
 			return err
 		}
-		pool := sched.NewPool(o.Workers)
+		pool := o.newPool()
 		defer pool.Close()
 		strT, err := runStreaming(l, spec, pool)
 		if err != nil {
@@ -233,7 +233,7 @@ func makeGrainFigure(windows int, deltaDays float64) func(o Options) error {
 						if err != nil {
 							return err
 						}
-						secs, _, err := runPostmortemReusing(eng)
+						secs, _, err := runPostmortemReusing(o, eng)
 						if err != nil {
 							return err
 						}
@@ -263,7 +263,7 @@ func expFig8(o Options) error {
 	if err != nil {
 		return err
 	}
-	pool := sched.NewPool(o.Workers)
+	pool := o.newPool()
 	defer pool.Close()
 	strT, err := runStreaming(l, spec, pool)
 	if err != nil {
@@ -294,7 +294,7 @@ func expFig8(o Options) error {
 			cfg.DiscardRanks = true
 			for _, g := range grains {
 				cfg.Grain = g
-				secs, _, err := runPostmortem(l, spec, cfg, pool)
+				secs, _, err := runPostmortem(o, l, spec, cfg, pool)
 				if err != nil {
 					return err
 				}
@@ -314,7 +314,7 @@ func expFig11(o Options) error {
 	if o.Quick {
 		names = []string{"enron", "wikitalk"}
 	}
-	pool := sched.NewPool(o.Workers)
+	pool := o.newPool()
 	defer pool.Close()
 	var best, worst float64 = math.Inf(1), 0
 	for _, name := range names {
@@ -356,7 +356,7 @@ func expFig11(o Options) error {
 				}
 				bestT := math.Inf(1)
 				for _, cfg := range candidates {
-					secs, _, err := runPostmortem(l, spec, cfg, pool)
+					secs, _, err := runPostmortem(o, l, spec, cfg, pool)
 					if err != nil {
 						return err
 					}
@@ -394,7 +394,7 @@ func expFig12(o Options) error {
 		offsets = offsets[:2]
 		days = days[:2]
 	}
-	pool := sched.NewPool(o.Workers)
+	pool := o.newPool()
 	defer pool.Close()
 	h := NewHeatmap("delta(d)", "sw(s)")
 	for _, sw := range offsets {
@@ -407,7 +407,7 @@ func expFig12(o Options) error {
 			if err != nil {
 				return err
 			}
-			secs, _, err := runPostmortem(l, spec, suggestedConfig(spec), pool)
+			secs, _, err := runPostmortem(o, l, spec, suggestedConfig(spec), pool)
 			if err != nil {
 				return err
 			}
@@ -433,7 +433,7 @@ func expAblationVecLen(o Options) error {
 	if err != nil {
 		return err
 	}
-	pool := sched.NewPool(o.Workers)
+	pool := o.newPool()
 	defer pool.Close()
 	lens := []int{1, 2, 4, 8, 16, 32}
 	if o.Quick {
@@ -445,7 +445,7 @@ func expAblationVecLen(o Options) error {
 			cfg := suggestedConfig(spec)
 			cfg.VectorLen = vl
 			cfg.PartialInit = partial
-			secs, s, err := runPostmortem(l, spec, cfg, pool)
+			secs, s, err := runPostmortem(o, l, spec, cfg, pool)
 			if err != nil {
 				return err
 			}
@@ -499,7 +499,7 @@ func expAblationReplication(o Options) error {
 
 func expAblationImbalance(o Options) error {
 	o = o.withDefaults()
-	pool := sched.NewPool(o.Workers)
+	pool := o.newPool()
 	defer pool.Close()
 	t := NewTable("dataset", "mode", "time(s)", "speedup vs app-level")
 	for _, name := range []string{"epinions", "wikitalk"} { // spiky vs smooth (Sec. 6.1)
@@ -515,7 +515,7 @@ func expAblationImbalance(o Options) error {
 		for _, mode := range []core.ParallelMode{core.AppLevel, core.WindowLevel, core.Nested} {
 			cfg := suggestedConfig(spec)
 			cfg.Mode = mode
-			secs, _, err := runPostmortem(l, spec, cfg, pool)
+			secs, _, err := runPostmortem(o, l, spec, cfg, pool)
 			if err != nil {
 				return err
 			}
@@ -532,7 +532,7 @@ func expAblationImbalance(o Options) error {
 
 func expAblationPartition(o Options) error {
 	o = o.withDefaults()
-	pool := sched.NewPool(o.Workers)
+	pool := o.newPool()
 	defer pool.Close()
 	t := NewTable("dataset", "partition", "max/mean events per MW", "time(s)", "speedup")
 	for _, name := range []string{"enron", "epinions", "wikitalk"} {
@@ -562,7 +562,7 @@ func expAblationPartition(o Options) error {
 				sumE += mw.NumEvents()
 			}
 			imb := float64(maxE) / (float64(sumE) / float64(len(eng.Temporal().MWs)))
-			secs, _, err := runPostmortemReusing(eng)
+			secs, _, err := runPostmortemReusing(o, eng)
 			if err != nil {
 				return err
 			}
@@ -582,7 +582,7 @@ func expAblationPartition(o Options) error {
 
 func expExtKernels(o Options) error {
 	o = o.withDefaults()
-	pool := sched.NewPool(o.Workers)
+	pool := o.newPool()
 	defer pool.Close()
 	t := NewTable("dataset", "windows", "pagerank(s)", "components(s)", "kcore(s)", "closeness-s16(s)")
 	names := []string{"wikitalk", "stackoverflow"}
@@ -598,7 +598,7 @@ func expExtKernels(o Options) error {
 		if err != nil {
 			return err
 		}
-		prT, _, err := runPostmortem(l, spec, suggestedConfig(spec), pool)
+		prT, _, err := runPostmortem(o, l, spec, suggestedConfig(spec), pool)
 		if err != nil {
 			return err
 		}
@@ -637,7 +637,7 @@ func expExtKernels(o Options) error {
 
 func expProfileImbalance(o Options) error {
 	o = o.withDefaults()
-	pool := sched.NewPool(o.Workers)
+	pool := o.newPool()
 	defer pool.Close()
 	t := NewTable("dataset", "windows", "max/mean window time", "top window share", "gini-ish")
 	for _, name := range gen.Names() {

@@ -150,6 +150,47 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// ConfigInfo is the JSON-friendly rendering of a Config, stamped into
+// RunReport and trace metadata so results are attributable to the
+// parameters that produced them.
+type ConfigInfo struct {
+	Kernel            string  `json:"kernel"`
+	Mode              string  `json:"mode"`
+	Partitioner       string  `json:"partitioner"`
+	Grain             int     `json:"grain"`
+	VectorLen         int     `json:"vector_len,omitempty"`
+	NumMultiWindows   int     `json:"num_multi_windows"`
+	BalancedPartition bool    `json:"balanced_partition"`
+	PartialInit       bool    `json:"partial_init"`
+	Directed          bool    `json:"directed"`
+	DiscardRanks      bool    `json:"discard_ranks"`
+	Alpha             float64 `json:"alpha"`
+	Tol               float64 `json:"tol"`
+	MaxIter           int     `json:"max_iter"`
+}
+
+// Info summarizes the configuration for reports and trace metadata.
+func (c Config) Info() ConfigInfo {
+	info := ConfigInfo{
+		Kernel:            c.Kernel.String(),
+		Mode:              c.Mode.String(),
+		Partitioner:       c.Partitioner.String(),
+		Grain:             c.Grain,
+		NumMultiWindows:   c.NumMultiWindows,
+		BalancedPartition: c.BalancedPartition,
+		PartialInit:       c.PartialInit,
+		Directed:          c.Directed,
+		DiscardRanks:      c.DiscardRanks,
+		Alpha:             c.Opts.Alpha,
+		Tol:               c.Opts.Tol,
+		MaxIter:           c.Opts.MaxIter,
+	}
+	if c.Kernel == SpMM {
+		info.VectorLen = c.VectorLen
+	}
+	return info
+}
+
 func (c Config) grain() int {
 	if c.Grain < 1 {
 		return 1

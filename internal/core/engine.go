@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"pmpr/internal/events"
+	"pmpr/internal/obs"
 	"pmpr/internal/sched"
 	"pmpr/internal/tcsr"
 )
@@ -16,6 +18,9 @@ type Engine struct {
 	tg   *tcsr.Temporal
 	cfg  Config
 	pool *sched.Pool
+
+	trace        *obs.Trace // optional; nil = no trace events
+	buildSeconds float64    // wall time of the TCSR build in NewEngine
 }
 
 // NewEngine builds the postmortem representation of l under spec and
@@ -29,11 +34,12 @@ func NewEngine(l *events.Log, spec events.WindowSpec, cfg Config, pool *sched.Po
 	if cfg.BalancedPartition {
 		build = tcsr.BuildBalanced
 	}
+	start := time.Now()
 	tg, err := build(l, spec, cfg.NumMultiWindows, cfg.Directed)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{tg: tg, cfg: cfg, pool: pool}, nil
+	return &Engine{tg: tg, cfg: cfg, pool: pool, buildSeconds: time.Since(start).Seconds()}, nil
 }
 
 // NewEngineFromTemporal wraps an existing representation, so that
@@ -60,24 +66,59 @@ func (e *Engine) Temporal() *tcsr.Temporal { return e.tg }
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// SetTrace attaches a Chrome trace writer: every subsequent Run records
+// which worker solved which window (SpMV) or batch (SpMM) when, plus
+// thread labels and config metadata. Pass nil to detach. Do not call
+// concurrently with Run.
+func (e *Engine) SetTrace(t *obs.Trace) {
+	e.trace = t
+	if t == nil {
+		return
+	}
+	t.ProcessName("pmpr engine")
+	t.ThreadName(0, "main")
+	if e.pool != nil {
+		for i := 0; i < e.pool.NumWorkers(); i++ {
+			t.ThreadName(i+1, fmt.Sprintf("worker %d", i))
+		}
+	}
+	t.SetMeta("config", e.cfg.Info())
+	t.SetMeta("build", obs.CollectBuildInfo())
+}
+
+// traceTID maps a window-loop worker id to a trace thread id (tid 0 is
+// the main/serial thread, workers start at 1).
+func traceTID(wid int) int { return wid + 1 }
+
 // Run computes PageRank for every window of the sequence and returns
 // the series. It is safe to call Run repeatedly; the representation is
 // read-only during execution.
 func (e *Engine) Run() (*Series, error) {
 	count := e.tg.Spec.Count
 	results := make([]WindowResult, count)
+	var before sched.Stats
+	if e.pool != nil && e.pool.MetricsEnabled() {
+		before = e.pool.Stats()
+	}
+	mwSweeps := make([]int64, len(e.tg.MWs))
+	start := time.Now()
 	switch e.cfg.Kernel {
 	case SpMV, SpMVBlocked:
 		e.runSpMV(results)
 	case SpMM:
-		e.runSpMM(results)
+		e.runSpMM(results, mwSweeps)
 	default:
 		return nil, fmt.Errorf("core: unknown kernel %v", e.cfg.Kernel)
+	}
+	wall := time.Since(start).Seconds()
+	if e.trace != nil {
+		e.trace.Complete("solve", "phase", 0, start, time.Since(start), nil)
 	}
 	return &Series{
 		Spec:        e.tg.Spec,
 		NumVertices: e.tg.NumVertices(),
 		Results:     results,
+		Report:      e.buildReport(results, mwSweeps, wall, before),
 	}, nil
 }
 
@@ -86,7 +127,7 @@ func (e *Engine) Run() (*Series, error) {
 // warm-starts iff its predecessor was computed in this same range and
 // lives in the same multi-window graph — exactly the paper's "if the
 // same thread processes Gi-1 and Gi, partial initialization occurs".
-func (e *Engine) spmvRange(lo, hi int, loop forLoop, results []WindowResult) {
+func (e *Engine) spmvRange(lo, hi, wid int, loop forLoop, results []WindowResult) {
 	var prev []float64
 	var prevMW *tcsr.MultiWindow
 	solver := e.solveWindow
@@ -99,7 +140,18 @@ func (e *Engine) spmvRange(lo, hi int, loop forLoop, results []WindowResult) {
 		if e.cfg.PartialInit && prevMW == mw && prev != nil {
 			init = prev
 		}
+		t0 := time.Now()
 		r := solver(mw, w, init, loop)
+		dur := time.Since(t0)
+		r.WallSeconds = dur.Seconds()
+		r.Worker = wid
+		if e.trace != nil {
+			e.trace.Complete(fmt.Sprintf("window %d", w), "window", traceTID(wid), t0, dur,
+				map[string]interface{}{
+					"window": w, "iterations": r.Iterations,
+					"active": r.ActiveVertices, "warm_start": r.UsedPartialInit,
+				})
+		}
 		prev, prevMW = r.ranks, mw
 		if e.cfg.DiscardRanks {
 			r.ranks = nil
@@ -114,35 +166,35 @@ func (e *Engine) runSpMV(results []WindowResult) {
 	part := e.cfg.Partitioner
 	switch {
 	case e.pool == nil:
-		e.spmvRange(0, count, serialLoop, results)
+		e.spmvRange(0, count, -1, serialLoop, results)
 	case e.cfg.Mode == AppLevel:
 		// Windows strictly in order; all parallelism inside the kernel.
 		inner := poolLoop(e.pool, grain, part)
-		e.spmvRange(0, count, inner, results)
+		e.spmvRange(0, count, -1, inner, results)
 	case e.cfg.Mode == WindowLevel:
-		e.pool.ParallelFor(count, grain, part, func(_ *sched.Worker, lo, hi int) {
-			e.spmvRange(lo, hi, serialLoop, results)
+		e.pool.ParallelFor(count, grain, part, func(w *sched.Worker, lo, hi int) {
+			e.spmvRange(lo, hi, w.ID(), serialLoop, results)
 		})
 	default: // Nested
 		e.pool.ParallelFor(count, grain, part, func(w *sched.Worker, lo, hi int) {
-			e.spmvRange(lo, hi, workerLoop(w, grain, part), results)
+			e.spmvRange(lo, hi, w.ID(), workerLoop(w, grain, part), results)
 		})
 	}
 }
 
-func (e *Engine) runSpMM(results []WindowResult) {
+func (e *Engine) runSpMM(results []WindowResult, mwSweeps []int64) {
 	mws := e.tg.MWs
 	grain := e.cfg.grain()
 	part := e.cfg.Partitioner
 	switch {
 	case e.pool == nil:
-		for _, mw := range mws {
-			e.solveMW(mw, serialLoop, results)
+		for i, mw := range mws {
+			e.solveMW(i, mw, -1, serialLoop, results, mwSweeps)
 		}
 	case e.cfg.Mode == AppLevel:
 		inner := poolLoop(e.pool, grain, part)
-		for _, mw := range mws {
-			e.solveMW(mw, inner, results)
+		for i, mw := range mws {
+			e.solveMW(i, mw, -1, inner, results, mwSweeps)
 		}
 	case e.cfg.Mode == WindowLevel:
 		// The multi-window graph is the unit of window-level work for
@@ -150,15 +202,15 @@ func (e *Engine) runSpMM(results []WindowResult) {
 		// initialization, but distinct multi-window graphs are
 		// independent (this is why Fig. 8's window-level runs improve
 		// with more multi-window graphs).
-		e.pool.ParallelFor(len(mws), grain, part, func(_ *sched.Worker, lo, hi int) {
+		e.pool.ParallelFor(len(mws), grain, part, func(w *sched.Worker, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				e.solveMW(mws[i], serialLoop, results)
+				e.solveMW(i, mws[i], w.ID(), serialLoop, results, mwSweeps)
 			}
 		})
 	default: // Nested
 		e.pool.ParallelFor(len(mws), 1, part, func(w *sched.Worker, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				e.solveMW(mws[i], workerLoop(w, grain, part), results)
+				e.solveMW(i, mws[i], w.ID(), workerLoop(w, grain, part), results, mwSweeps)
 			}
 		})
 	}

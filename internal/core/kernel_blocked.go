@@ -158,7 +158,8 @@ func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64,
 			deltaAcc.Add(delta)
 		})
 		x, y = y, x
-		if deltaAcc.Load() < opt.Tol {
+		res.FinalResidual = deltaAcc.Load()
+		if res.FinalResidual < opt.Tol {
 			res.Converged = true
 			break
 		}

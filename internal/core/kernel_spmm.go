@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"pmpr/internal/tcsr"
 )
@@ -16,7 +18,7 @@ import (
 // so one sweep of the shared temporal CSR advances up to VectorLen
 // PageRank vectors, and every batch after the first warm-starts from
 // its region predecessor (which is the previous global window).
-func (e *Engine) solveMW(mw *tcsr.MultiWindow, loop forLoop, out []WindowResult) {
+func (e *Engine) solveMW(mwIdx int, mw *tcsr.MultiWindow, wid int, loop forLoop, out []WindowResult, mwSweeps []int64) {
 	W := mw.NumWindows()
 	if W == 0 {
 		return
@@ -59,13 +61,31 @@ func (e *Engine) solveMW(mw *tcsr.MultiWindow, loop forLoop, out []WindowResult)
 				inits = append(inits, nil)
 			}
 		}
+		t0 := time.Now()
 		batch := e.solveBatch(mw, wins, inits, loop)
+		dur := time.Since(t0)
+		var sweeps int64
 		for s, w := range wins {
+			if it := int64(batch[s].Iterations); it > sweeps {
+				sweeps = it
+			}
+			batch[s].WallSeconds = dur.Seconds()
+			batch[s].Worker = wid
 			ranksByOffset[w-mw.WinLo] = batch[s].ranks
 			if e.cfg.DiscardRanks {
 				batch[s].ranks = nil
 			}
 			out[w] = batch[s]
+		}
+		// One SpMM sweep of the shared CSR advances every live window of
+		// the batch, so the batch's sweep count is its iteration maximum.
+		mwSweeps[mwIdx] += sweeps
+		if e.trace != nil {
+			e.trace.Complete(fmt.Sprintf("mw %d batch %d", mwIdx, j), "batch", traceTID(wid), t0, dur,
+				map[string]interface{}{
+					"mw": mwIdx, "batch": j, "windows": len(wins),
+					"first_window": wins[0], "sweeps": sweeps,
+				})
 		}
 		if e.cfg.DiscardRanks && j > 0 {
 			// Batch j-1's vectors have been consumed; free them.
@@ -311,7 +331,8 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 		x, y = y, x
 		next := live[:0]
 		for _, k := range live {
-			if deltas[k].Load() < opt.Tol {
+			results[k].FinalResidual = deltas[k].Load()
+			if results[k].FinalResidual < opt.Tol {
 				results[k].Converged = true
 			} else {
 				next = append(next, k)

@@ -217,7 +217,8 @@ func (e *Engine) solveWindow(mw *tcsr.MultiWindow, w int, prev []float64, loop f
 			deltaAcc.Add(delta)
 		})
 		x, y = y, x
-		if deltaAcc.Load() < opt.Tol {
+		res.FinalResidual = deltaAcc.Load()
+		if res.FinalResidual < opt.Tol {
 			res.Converged = true
 			break
 		}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"pmpr/internal/obs"
+	"pmpr/internal/sched"
+)
+
+// Phase is one timed stage of a run (event load, TCSR build, solve).
+type Phase struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// WarmStartStats quantifies the paper's "if the same thread processes
+// Gi-1 and Gi, partial initialization occurs" claim (Sec. 4.3).
+// Eligible counts the windows that could warm-start under ideal
+// scheduling: PartialInit is on and the window's predecessor lies in
+// the same multi-window graph. Hits counts the windows that actually
+// did. Serial SpMV runs hit every eligible window; work-stealing and
+// SpMM region boundaries (a region-first window's predecessor is solved
+// in a later batch) lower the rate, which is exactly what this metric
+// makes visible.
+type WarmStartStats struct {
+	Eligible int     `json:"eligible"`
+	Hits     int     `json:"hits"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// ResidualStats summarizes the final per-window L1 residuals.
+type ResidualStats struct {
+	Max         float64 `json:"max"`
+	Mean        float64 `json:"mean"`
+	Unconverged int     `json:"unconverged"`
+}
+
+// SchedReport is the scheduler's share of a run: the per-worker
+// counters plus the aggregate load-balance summary.
+type SchedReport struct {
+	Workers       []sched.WorkerStats `json:"workers"`
+	TotalTasks    int64               `json:"total_tasks"`
+	TotalSteals   int64               `json:"total_steals"`
+	TotalSplits   int64               `json:"total_splits"`
+	LoadImbalance float64             `json:"load_imbalance"`
+}
+
+// RunReport aggregates the observability of one Engine.Run: phase
+// timers, warm-start behavior, per-multi-window sweep counts, final
+// residuals, per-window wall time and worker attribution, and (when
+// pool metrics are enabled) the scheduler counters. It is attached to
+// the Series and JSON-exportable for the benchmark trajectory.
+type RunReport struct {
+	Build  obs.BuildInfo `json:"build"`
+	Config ConfigInfo    `json:"config"`
+	// Workers is the pool size (0 = fully serial run).
+	Workers int     `json:"workers"`
+	Phases  []Phase `json:"phases"`
+
+	Windows         int            `json:"windows"`
+	TotalIterations int            `json:"total_iterations"`
+	WarmStart       WarmStartStats `json:"warm_start"`
+	// MWSweeps[i] counts sweeps of multi-window graph i's shared CSR:
+	// for SpMM the per-batch iteration maxima (one sweep advances all
+	// live windows of the batch), for SpMV the summed per-window
+	// iterations (each window sweeps alone).
+	MWSweeps    []int64       `json:"mw_sweeps"`
+	TotalSweeps int64         `json:"total_sweeps"`
+	Residuals   ResidualStats `json:"residuals"`
+
+	// WindowWallSeconds[w] is window w's solve wall time; for the SpMM
+	// kernel every window of a batch reports the batch's wall time.
+	WindowWallSeconds []float64 `json:"window_wall_seconds"`
+	// WindowWorkers[w] is the pool worker that solved window w (-1 when
+	// the window loop ran outside the pool, e.g. serial or app-level).
+	WindowWorkers []int `json:"window_workers"`
+
+	// Sched holds the pool counter delta for this run; nil unless
+	// Pool.EnableMetrics was on.
+	Sched *SchedReport `json:"sched,omitempty"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// SetPhase records (or overwrites) a named phase timer. The engine
+// fills "tcsr_build" and "solve"; callers that time surrounding stages
+// (event load, symmetrization) can add theirs before exporting.
+func (r *RunReport) SetPhase(name string, seconds float64) {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			r.Phases[i].Seconds = seconds
+			return
+		}
+	}
+	r.Phases = append(r.Phases, Phase{Name: name, Seconds: seconds})
+}
+
+// PhaseSeconds returns a named phase timer.
+func (r *RunReport) PhaseSeconds(name string) (float64, bool) {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return r.Phases[i].Seconds, true
+		}
+	}
+	return 0, false
+}
+
+// JSON renders the report with indentation.
+func (r *RunReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// WriteJSON writes the indented report followed by a newline.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	b, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteJSONFile writes the report to path.
+func (r *RunReport) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// buildReport assembles the run report from the per-window results and
+// the counters collected during Run.
+func (e *Engine) buildReport(results []WindowResult, mwSweeps []int64, wall float64, before sched.Stats) *RunReport {
+	rep := &RunReport{
+		Build:       obs.CollectBuildInfo(),
+		Config:      e.cfg.Info(),
+		Windows:     len(results),
+		MWSweeps:    mwSweeps,
+		WallSeconds: wall,
+	}
+	if e.pool != nil {
+		rep.Workers = e.pool.NumWorkers()
+	}
+	rep.SetPhase("tcsr_build", e.buildSeconds)
+	rep.SetPhase("solve", wall)
+
+	// Warm-start eligibility: every window whose predecessor is in the
+	// same multi-window graph, when partial initialization is on.
+	if e.cfg.PartialInit {
+		for _, mw := range e.tg.MWs {
+			if n := mw.NumWindows(); n > 1 {
+				rep.WarmStart.Eligible += n - 1
+			}
+		}
+	}
+
+	rep.WindowWallSeconds = make([]float64, len(results))
+	rep.WindowWorkers = make([]int, len(results))
+	var resSum float64
+	for i := range results {
+		r := &results[i]
+		rep.TotalIterations += r.Iterations
+		if r.UsedPartialInit {
+			rep.WarmStart.Hits++
+		}
+		if !r.Converged {
+			rep.Residuals.Unconverged++
+		}
+		if r.FinalResidual > rep.Residuals.Max {
+			rep.Residuals.Max = r.FinalResidual
+		}
+		resSum += r.FinalResidual
+		rep.WindowWallSeconds[i] = r.WallSeconds
+		rep.WindowWorkers[i] = r.Worker
+	}
+	if rep.WarmStart.Eligible > 0 {
+		rep.WarmStart.HitRate = float64(rep.WarmStart.Hits) / float64(rep.WarmStart.Eligible)
+	}
+	if len(results) > 0 {
+		rep.Residuals.Mean = resSum / float64(len(results))
+	}
+	// SpMV-style kernels sweep the CSR once per window iteration; the
+	// SpMM kernel filled mwSweeps with per-batch maxima already.
+	if e.cfg.Kernel != SpMM {
+		for mwIdx, mw := range e.tg.MWs {
+			var s int64
+			for w := mw.WinLo; w < mw.WinHi; w++ {
+				s += int64(results[w].Iterations)
+			}
+			mwSweeps[mwIdx] = s
+		}
+	}
+	for _, s := range mwSweeps {
+		rep.TotalSweeps += s
+	}
+	if e.pool != nil && e.pool.MetricsEnabled() {
+		d := e.pool.Stats().Delta(before)
+		rep.Sched = &SchedReport{
+			Workers:       d.Workers,
+			TotalTasks:    d.TotalTasks(),
+			TotalSteals:   d.TotalSteals(),
+			TotalSplits:   d.TotalSplits(),
+			LoadImbalance: d.Imbalance(),
+		}
+	}
+	return rep
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pmpr/internal/events"
+	"pmpr/internal/obs"
+	"pmpr/internal/sched"
+)
+
+// reportFixture runs the engine on an overlap-heavy log where every
+// window is nonempty, so warm-start behavior is deterministic.
+func reportFixture(t *testing.T, cfg Config, pool *sched.Pool) (*Series, events.WindowSpec, *Engine) {
+	t.Helper()
+	l := randomLog(t, 31, 25, 600, 3000)
+	spec, err := events.Span(l, 400, 120)
+	if err != nil {
+		t.Fatalf("Span: %v", err)
+	}
+	eng, err := NewEngine(l, spec, cfg, pool)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	s, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return s, spec, eng
+}
+
+func TestRunReportSerialSpMVWarmStartIsPerfect(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Kernel = SpMV
+	cfg.NumMultiWindows = 3
+	cfg.Directed = true
+	s, spec, _ := reportFixture(t, cfg, nil)
+
+	rep := s.Report
+	if rep == nil {
+		t.Fatal("Run produced no report")
+	}
+	// A serial run chains partial initialization through every window of
+	// each multi-window graph: the hit rate must be exactly 1.
+	if want := spec.Count - cfg.NumMultiWindows; rep.WarmStart.Eligible != want {
+		t.Fatalf("eligible = %d, want %d", rep.WarmStart.Eligible, want)
+	}
+	if rep.WarmStart.Hits != rep.WarmStart.Eligible || rep.WarmStart.HitRate != 1.0 {
+		t.Fatalf("serial warm-start rate = %v (%d/%d), want 1.0",
+			rep.WarmStart.HitRate, rep.WarmStart.Hits, rep.WarmStart.Eligible)
+	}
+	if rep.TotalIterations != s.TotalIterations() {
+		t.Fatalf("report iterations %d != series %d", rep.TotalIterations, s.TotalIterations())
+	}
+	if rep.Windows != spec.Count || rep.Workers != 0 {
+		t.Fatalf("windows=%d workers=%d, want %d/0", rep.Windows, rep.Workers, spec.Count)
+	}
+	if solve, ok := rep.PhaseSeconds("solve"); !ok || solve <= 0 {
+		t.Fatalf("missing solve phase: %v %v", solve, ok)
+	}
+	if _, ok := rep.PhaseSeconds("tcsr_build"); !ok {
+		t.Fatal("missing tcsr_build phase")
+	}
+	// SpMV sweeps the CSR once per window iteration.
+	if len(rep.MWSweeps) != cfg.NumMultiWindows {
+		t.Fatalf("MWSweeps len = %d, want %d", len(rep.MWSweeps), cfg.NumMultiWindows)
+	}
+	if rep.TotalSweeps != int64(rep.TotalIterations) {
+		t.Fatalf("spmv sweeps %d != iterations %d", rep.TotalSweeps, rep.TotalIterations)
+	}
+	if s.AllConverged() {
+		if rep.Residuals.Unconverged != 0 || rep.Residuals.Max >= cfg.Opts.Tol {
+			t.Fatalf("residual summary inconsistent with convergence: %+v", rep.Residuals)
+		}
+	}
+	for w, wid := range rep.WindowWorkers {
+		if wid != -1 {
+			t.Fatalf("serial run attributed window %d to worker %d", w, wid)
+		}
+	}
+	if rep.Sched != nil {
+		t.Fatal("serial run must not carry scheduler stats")
+	}
+	if rep.Build.GoVersion == "" || rep.Config.Kernel != "spmv" {
+		t.Fatalf("missing build/config stamp: %+v %+v", rep.Build, rep.Config)
+	}
+}
+
+func TestRunReportSerialSpMMWarmStart(t *testing.T) {
+	// VectorLen 1 degenerates SpMM to a serial chain: hit rate 1.
+	cfg := DefaultConfig()
+	cfg.Kernel = SpMM
+	cfg.VectorLen = 1
+	cfg.NumMultiWindows = 3
+	cfg.Directed = true
+	s, _, _ := reportFixture(t, cfg, nil)
+	if s.Report.WarmStart.HitRate != 1.0 {
+		t.Fatalf("spmm K=1 serial hit rate = %v, want 1.0", s.Report.WarmStart.HitRate)
+	}
+	if s.Report.TotalSweeps <= 0 || s.Report.TotalSweeps > int64(s.Report.TotalIterations) {
+		t.Fatalf("sweeps %d outside (0, iterations=%d]", s.Report.TotalSweeps, s.Report.TotalIterations)
+	}
+
+	// With K regions per multi-window graph, the K-1 region-first
+	// windows (beyond the graph's own first window) cannot warm-start:
+	// hits = sum over graphs of W - min(K, W).
+	cfg.VectorLen = 4
+	s, _, eng := reportFixture(t, cfg, nil)
+	wantHits := 0
+	for _, mw := range eng.Temporal().MWs {
+		k := cfg.VectorLen
+		if w := mw.NumWindows(); w > 0 {
+			if k > w {
+				k = w
+			}
+			wantHits += w - k
+		}
+	}
+	if s.Report.WarmStart.Hits != wantHits {
+		t.Fatalf("spmm K=4 hits = %d, want %d", s.Report.WarmStart.Hits, wantHits)
+	}
+}
+
+func TestRunReportSchedStatsDelta(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	pool.EnableMetrics(true)
+	cfg := DefaultConfig()
+	cfg.Kernel = SpMV
+	cfg.Mode = WindowLevel
+	cfg.NumMultiWindows = 3
+	cfg.Directed = true
+
+	s1, _, eng := reportFixture(t, cfg, pool)
+	if s1.Report.Sched == nil {
+		t.Fatal("no scheduler stats despite metrics enabled")
+	}
+	if s1.Report.Sched.TotalTasks <= 0 {
+		t.Fatalf("no tasks recorded: %+v", s1.Report.Sched)
+	}
+	if len(s1.Report.Sched.Workers) != 4 || s1.Report.Workers != 4 {
+		t.Fatalf("worker counts wrong: %d/%d", len(s1.Report.Sched.Workers), s1.Report.Workers)
+	}
+	// The report carries the delta for this run, not the pool lifetime:
+	// a second run must not report accumulated counters.
+	s2, err := eng.Run()
+	if err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	total := pool.Stats().TotalTasks()
+	if s2.Report.Sched.TotalTasks <= 0 || s2.Report.Sched.TotalTasks >= total {
+		t.Fatalf("second run delta %d not in (0, pool total %d)",
+			s2.Report.Sched.TotalTasks, total)
+	}
+	// Window-level runs attribute every window to a real worker.
+	for w, wid := range s2.Report.WindowWorkers {
+		if wid < 0 || wid >= 4 {
+			t.Fatalf("window %d attributed to worker %d", w, wid)
+		}
+	}
+}
+
+func TestRunReportJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Kernel = SpMV
+	cfg.NumMultiWindows = 2
+	cfg.Directed = true
+	s, _, _ := reportFixture(t, cfg, nil)
+	var buf bytes.Buffer
+	if err := s.Report.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Windows != s.Report.Windows || back.Config.Kernel != "spmv" ||
+		back.WarmStart.HitRate != s.Report.WarmStart.HitRate {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestEngineTraceRecordsWindowSpans(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	cfg := DefaultConfig()
+	cfg.Kernel = SpMV
+	cfg.Mode = Nested
+	cfg.NumMultiWindows = 2
+	cfg.Directed = true
+
+	l := randomLog(t, 31, 25, 600, 3000)
+	spec, err := events.Span(l, 400, 120)
+	if err != nil {
+		t.Fatalf("Span: %v", err)
+	}
+	eng, err := NewEngine(l, spec, cfg, pool)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	tr := obs.NewTrace()
+	eng.SetTrace(tr)
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatalf("trace write: %v", err)
+	}
+	var obj struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	windows, phases := 0, 0
+	for _, e := range obj.TraceEvents {
+		switch e.Cat {
+		case "window":
+			windows++
+			if e.TID < 1 || e.TID > 2 {
+				t.Fatalf("window span on tid %d, want pool worker tids", e.TID)
+			}
+		case "phase":
+			phases++
+		}
+	}
+	if windows != spec.Count {
+		t.Fatalf("trace has %d window spans, want %d", windows, spec.Count)
+	}
+	if phases == 0 {
+		t.Fatal("no phase spans in trace")
+	}
+
+	// SpMM traces batch spans instead.
+	cfgM := DefaultConfig()
+	cfgM.NumMultiWindows = 2
+	cfgM.VectorLen = 4
+	cfgM.Directed = true
+	engM, err := NewEngine(l, spec, cfgM, pool)
+	if err != nil {
+		t.Fatalf("NewEngine spmm: %v", err)
+	}
+	trM := obs.NewTrace()
+	engM.SetTrace(trM)
+	if _, err := engM.Run(); err != nil {
+		t.Fatalf("Run spmm: %v", err)
+	}
+	buf.Reset()
+	if err := trM.Write(&buf); err != nil {
+		t.Fatalf("trace write: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	batches := 0
+	for _, e := range obj.TraceEvents {
+		if e.Cat == "batch" {
+			batches++
+		}
+	}
+	if batches == 0 {
+		t.Fatal("spmm trace has no batch spans")
+	}
+}
+
+func TestRankOK(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Kernel = SpMV
+	cfg.NumMultiWindows = 2
+	cfg.Directed = true
+	s, _, _ := reportFixture(t, cfg, nil)
+	r := s.Window(0)
+	var probed int32 = -1
+	r.ForEach(func(g int32, rank float64) {
+		if probed < 0 {
+			probed = g
+		}
+	})
+	if probed < 0 {
+		t.Fatal("window 0 has no ranked vertices")
+	}
+	got, ok := r.RankOK(probed)
+	if !ok || got != r.Rank(probed) {
+		t.Fatalf("RankOK(%d) = (%v, %v), Rank = %v", probed, got, ok, r.Rank(probed))
+	}
+
+	cfg.DiscardRanks = true
+	s, _, _ = reportFixture(t, cfg, nil)
+	if _, ok := s.Window(0).RankOK(probed); ok {
+		t.Fatal("RankOK reported ok on discarded ranks")
+	}
+}

@@ -22,6 +22,16 @@ type WindowResult struct {
 	// UsedPartialInit reports whether this window warm-started from its
 	// predecessor (Eq. 4) rather than the uniform vector.
 	UsedPartialInit bool
+	// FinalResidual is the L1 delta of the last iteration performed
+	// (below the tolerance iff Converged).
+	FinalResidual float64
+	// WallSeconds is the solve wall time of this window; for the SpMM
+	// kernel it is the wall time of the batch that advanced it.
+	WallSeconds float64
+	// Worker is the pool worker id whose window-loop range solved this
+	// window, or -1 when the window loop ran outside the pool (serial
+	// and app-level runs).
+	Worker int
 
 	ranks []float64 // local-id ranks; nil when discarded
 	mw    *tcsr.MultiWindow
@@ -39,6 +49,20 @@ func (r *WindowResult) Rank(global int32) float64 {
 		return 0
 	}
 	return r.ranks[local]
+}
+
+// RankOK is the non-panicking variant of Rank: ok is false when the
+// ranks were discarded (Config.DiscardRanks), and the rank is 0 for
+// vertices outside the window graph.
+func (r *WindowResult) RankOK(global int32) (rank float64, ok bool) {
+	if r.ranks == nil {
+		return 0, false
+	}
+	local := r.mw.LocalID(global)
+	if local < 0 {
+		return 0, true
+	}
+	return r.ranks[local], true
 }
 
 // HasRanks reports whether the rank vector was retained.
@@ -94,6 +118,9 @@ type Series struct {
 	Spec        events.WindowSpec
 	NumVertices int32
 	Results     []WindowResult
+	// Report carries the run's observability rollup (phase timers,
+	// warm-start hit rate, sweep counts, scheduler stats).
+	Report *RunReport
 }
 
 // Window returns the result for window i.

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// GaugeFunc samples an instantaneous value at scrape time, so live
+// state (pool stats, queue depths) is read only when someone asks.
+type GaugeFunc func() float64
+
+type metric struct {
+	name string
+	help string
+	kind string // "counter" or "gauge"
+	ctr  *Counter
+	fn   GaugeFunc
+}
+
+// Registry is a minimal metrics registry exposed over both the expvar
+// JSON surface and a Prometheus-style text endpoint. Metric names
+// should follow Prometheus conventions (snake_case, counters ending in
+// _total).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{metrics: map[string]*metric{}} }
+
+// Counter registers (or returns the existing) counter with this name.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.ctr != nil {
+		return m.ctr
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{name: name, help: help, kind: "counter", ctr: c}
+	return c
+}
+
+// Gauge registers a sampled gauge; fn is called at scrape time and must
+// be safe for concurrent use.
+func (r *Registry) Gauge(name, help string, fn GaugeFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = &metric{name: name, help: help, kind: "gauge", fn: fn}
+}
+
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format.
+func (r *Registry) WriteProm(w io.Writer) {
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind)
+		if m.ctr != nil {
+			fmt.Fprintf(w, "%s %d\n", m.name, m.ctr.Value())
+		} else {
+			fmt.Fprintf(w, "%s %g\n", m.name, m.fn())
+		}
+	}
+}
+
+// Snapshot returns the current values keyed by metric name (the expvar
+// representation).
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	for _, m := range r.sorted() {
+		if m.ctr != nil {
+			out[m.name] = float64(m.ctr.Value())
+		} else {
+			out[m.name] = m.fn()
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the observability HTTP handler:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/vars    expvar JSON (memstats, cmdline, plus reg under "pmpr")
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// reg may be nil, in which case /metrics serves an empty exposition.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WriteProm(w)
+		}
+	})
+	// A self-contained /debug/vars: the expvar package's handler only
+	// registers on http.DefaultServeMux, and expvar.Publish is global
+	// (panics on duplicate names), so we render the same JSON shape
+	// ourselves and append the registry under "pmpr".
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+		})
+		if reg != nil {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			b, _ := json.Marshal(reg.Snapshot())
+			fmt.Fprintf(w, "%q: %s", "pmpr", b)
+		}
+		fmt.Fprintf(w, "\n}\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr and serves the observability mux in a background
+// goroutine. The caller owns the returned server and should Close it.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg)}
+	go srv.Serve(ln)
+	return &Server{srv: srv, ln: ln}, nil
+}

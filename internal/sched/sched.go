@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Partitioner selects the range-splitting policy of a parallel loop.
@@ -129,6 +130,9 @@ type Pool struct {
 	closed  bool
 
 	idle atomic.Int32 // workers currently out of work (demand signal for Auto)
+
+	metricsOn atomic.Bool
+	metrics   []workerMetrics // one padded slot per worker
 }
 
 // Worker is one of the pool's executors. The Body of a loop may call
@@ -138,6 +142,10 @@ type Worker struct {
 	id   int
 	dq   deque
 	rng  *rand.Rand
+	// depth tracks process() nesting (single goroutine, no atomics):
+	// busy time is only accumulated at depth 1 so spans executed while
+	// helping a nested loop are not double-counted.
+	depth int
 }
 
 // ID returns the worker index in [0, Pool.NumWorkers()).
@@ -154,6 +162,7 @@ func NewPool(n int) *Pool {
 	}
 	p := &Pool{}
 	p.cond = sync.NewCond(&p.mu)
+	p.metrics = make([]workerMetrics, n)
 	p.workers = make([]*Worker, n)
 	for i := 0; i < n; i++ {
 		p.workers[i] = &Worker{pool: p, id: i, rng: rand.New(rand.NewSource(int64(i)*0x9E3779B9 + 1))}
@@ -206,7 +215,14 @@ func (w *Worker) run() {
 		}
 		p.sleeper++
 		p.idle.Add(1)
+		var t0 time.Time
+		if timed := p.metricsOn.Load(); timed {
+			t0 = time.Now()
+		}
 		p.cond.Wait()
+		if !t0.IsZero() {
+			p.metrics[w.id].idleNanos.Add(int64(time.Since(t0)))
+		}
 		p.idle.Add(-1)
 		p.sleeper--
 		closed := p.closed
@@ -231,6 +247,9 @@ func (w *Worker) findWork() (span, bool) {
 			continue
 		}
 		if s, ok := victim.dq.stealTop(); ok {
+			if p.metricsOn.Load() {
+				p.metrics[w.id].steals.Add(1)
+			}
 			return s, true
 		}
 	}
@@ -259,26 +278,48 @@ func (w *Worker) shouldSplit(s span) bool {
 }
 
 func (w *Worker) process(s span) {
+	var m *workerMetrics
+	var t0 time.Time
+	if w.pool.metricsOn.Load() {
+		m = &w.pool.metrics[w.id]
+		w.depth++
+		if w.depth == 1 {
+			t0 = time.Now()
+		}
+	}
 	for w.shouldSplit(s) {
 		mid := s.lo + (s.hi-s.lo)/2
 		s.job.pending.Add(1)
 		w.dq.pushBottom(span{lo: mid, hi: s.hi, job: s.job})
 		w.pool.wake()
 		s.hi = mid
+		if m != nil {
+			m.splits.Add(1)
+		}
 	}
 	j := s.job
+	leaves := int64(1)
 	if j.part == Static && s.hi-s.lo > j.grain {
 		// Execute in grain-size leaf calls, mirroring how TBB's static
 		// partitioner still honors the range grain.
+		leaves = 0
 		for lo := s.lo; lo < s.hi; lo += j.grain {
 			hi := lo + j.grain
 			if hi > s.hi {
 				hi = s.hi
 			}
 			j.body(w, lo, hi)
+			leaves++
 		}
 	} else {
 		j.body(w, s.lo, s.hi)
+	}
+	if m != nil {
+		m.tasks.Add(leaves)
+		if w.depth == 1 {
+			m.busyNanos.Add(int64(time.Since(t0)))
+		}
+		w.depth--
 	}
 	j.finish(1)
 }

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// workerMetrics is one worker's counter slot. Each worker writes only
+// its own slot; Stats snapshots read across slots. The struct is padded
+// to two cache lines so neighboring workers never false-share.
+type workerMetrics struct {
+	tasks     atomic.Int64 // leaf body invocations
+	steals    atomic.Int64 // spans taken from another worker's deque
+	splits    atomic.Int64 // spans divided before execution
+	busyNanos atomic.Int64 // time inside process() at nesting depth 0
+	idleNanos atomic.Int64 // time parked in cond.Wait
+	_         [88]byte
+}
+
+func (m *workerMetrics) reset() {
+	m.tasks.Store(0)
+	m.steals.Store(0)
+	m.splits.Store(0)
+	m.busyNanos.Store(0)
+	m.idleNanos.Store(0)
+}
+
+// WorkerStats is one worker's share of a Stats snapshot.
+type WorkerStats struct {
+	// Tasks is the number of leaf body invocations the worker executed.
+	Tasks int64 `json:"tasks"`
+	// Steals counts spans the worker took from another worker's deque.
+	Steals int64 `json:"steals"`
+	// Splits counts spans the worker divided before executing.
+	Splits int64 `json:"splits"`
+	// BusyNanos is time spent executing spans (outermost nesting level
+	// only, so nested ParallelFor work is not double-counted).
+	BusyNanos int64 `json:"busy_nanos"`
+	// IdleNanos is time spent parked waiting for work.
+	IdleNanos int64 `json:"idle_nanos"`
+}
+
+// Stats is a snapshot of the pool's per-worker counters, taken with
+// Pool.Stats. Counters only advance while metrics collection is enabled
+// (Pool.EnableMetrics).
+type Stats struct {
+	Workers []WorkerStats `json:"workers"`
+}
+
+// TotalTasks sums leaf executions across workers.
+func (s Stats) TotalTasks() int64 {
+	var t int64
+	for _, w := range s.Workers {
+		t += w.Tasks
+	}
+	return t
+}
+
+// TotalSteals sums steals across workers.
+func (s Stats) TotalSteals() int64 {
+	var t int64
+	for _, w := range s.Workers {
+		t += w.Steals
+	}
+	return t
+}
+
+// TotalSplits sums span splits across workers.
+func (s Stats) TotalSplits() int64 {
+	var t int64
+	for _, w := range s.Workers {
+		t += w.Splits
+	}
+	return t
+}
+
+// TotalBusy sums busy time across workers.
+func (s Stats) TotalBusy() time.Duration {
+	var t int64
+	for _, w := range s.Workers {
+		t += w.BusyNanos
+	}
+	return time.Duration(t)
+}
+
+// Imbalance is the load-balance summary: max worker busy time divided
+// by the mean busy time over all workers (1.0 = perfectly balanced,
+// NumWorkers = one worker did everything). Returns 0 when no busy time
+// was recorded.
+func (s Stats) Imbalance() float64 {
+	var max, sum int64
+	for _, w := range s.Workers {
+		sum += w.BusyNanos
+		if w.BusyNanos > max {
+			max = w.BusyNanos
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.Workers))
+	return float64(max) / mean
+}
+
+// Delta returns this snapshot minus an earlier one, so a caller sharing
+// a long-lived pool can attribute counters to one run.
+func (s Stats) Delta(prev Stats) Stats {
+	out := Stats{Workers: make([]WorkerStats, len(s.Workers))}
+	copy(out.Workers, s.Workers)
+	for i := range out.Workers {
+		if i >= len(prev.Workers) {
+			break
+		}
+		out.Workers[i].Tasks -= prev.Workers[i].Tasks
+		out.Workers[i].Steals -= prev.Workers[i].Steals
+		out.Workers[i].Splits -= prev.Workers[i].Splits
+		out.Workers[i].BusyNanos -= prev.Workers[i].BusyNanos
+		out.Workers[i].IdleNanos -= prev.Workers[i].IdleNanos
+	}
+	return out
+}
+
+// EnableMetrics turns per-worker counter collection on or off. The
+// disabled path costs one atomic load per span, so the default
+// configuration measures nothing and pays nothing. Toggle while the
+// pool is quiescent (between ParallelFor calls) for exact counts.
+func (p *Pool) EnableMetrics(on bool) { p.metricsOn.Store(on) }
+
+// MetricsEnabled reports whether collection is on.
+func (p *Pool) MetricsEnabled() bool { return p.metricsOn.Load() }
+
+// ResetMetrics zeroes all per-worker counters.
+func (p *Pool) ResetMetrics() {
+	for i := range p.metrics {
+		p.metrics[i].reset()
+	}
+}
+
+// Stats snapshots the per-worker counters.
+func (p *Pool) Stats() Stats {
+	st := Stats{Workers: make([]WorkerStats, len(p.metrics))}
+	for i := range p.metrics {
+		m := &p.metrics[i]
+		st.Workers[i] = WorkerStats{
+			Tasks:     m.tasks.Load(),
+			Steals:    m.steals.Load(),
+			Splits:    m.splits.Load(),
+			BusyNanos: m.busyNanos.Load(),
+			IdleNanos: m.idleNanos.Load(),
+		}
+	}
+	return st
+}

@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStatsTasksEqualLeaves checks the core invariant: with metrics
+// enabled, TotalTasks equals the number of leaf body invocations, for
+// every partitioner, and Static performs no steals and no splits.
+func TestStatsTasksEqualLeaves(t *testing.T) {
+	withPool(t, 4, func(p *Pool) {
+		p.EnableMetrics(true)
+		for _, part := range []Partitioner{Auto, Simple, Static} {
+			for _, n := range []int{1, 7, 100, 1000} {
+				for _, grain := range []int{1, 8, 1000} {
+					p.ResetMetrics()
+					var leaves int64
+					p.ParallelFor(n, grain, part, func(_ *Worker, lo, hi int) {
+						atomic.AddInt64(&leaves, 1)
+					})
+					st := p.Stats()
+					if st.TotalTasks() != leaves {
+						t.Fatalf("part=%v n=%d grain=%d: TotalTasks=%d, leaves=%d",
+							part, n, grain, st.TotalTasks(), leaves)
+					}
+					if part == Static {
+						if st.TotalSteals() != 0 {
+							t.Fatalf("static: %d steals, want 0", st.TotalSteals())
+						}
+						if st.TotalSplits() != 0 {
+							t.Fatalf("static: %d splits, want 0", st.TotalSplits())
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestStatsNestedParallelFor(t *testing.T) {
+	withPool(t, 4, func(p *Pool) {
+		p.EnableMetrics(true)
+		p.ResetMetrics()
+		var leaves int64
+		const outer, inner = 12, 64
+		p.ParallelFor(outer, 1, Auto, func(w *Worker, lo, hi int) {
+			atomic.AddInt64(&leaves, 1)
+			for i := lo; i < hi; i++ {
+				w.ParallelFor(inner, 4, Auto, func(_ *Worker, _, _ int) {
+					atomic.AddInt64(&leaves, 1)
+				})
+			}
+		})
+		st := p.Stats()
+		if st.TotalTasks() != leaves {
+			t.Fatalf("nested: TotalTasks=%d, leaves=%d", st.TotalTasks(), leaves)
+		}
+		if st.TotalBusy() <= 0 {
+			t.Fatal("no busy time recorded")
+		}
+		// Busy time is only accumulated at the outermost nesting level,
+		// so the per-worker sum must not exceed the wall time budget by
+		// double-counting: each worker's busy must be under the test's
+		// total runtime. Weak but catches gross double-counting.
+		for i, w := range st.Workers {
+			if w.BusyNanos < 0 {
+				t.Fatalf("worker %d negative busy %d", i, w.BusyNanos)
+			}
+		}
+	})
+}
+
+func TestStatsDisabledCollectsNothing(t *testing.T) {
+	withPool(t, 4, func(p *Pool) {
+		p.ParallelFor(500, 2, Simple, func(_ *Worker, _, _ int) {})
+		st := p.Stats()
+		if st.TotalTasks() != 0 || st.TotalSteals() != 0 || st.TotalSplits() != 0 || st.TotalBusy() != 0 {
+			t.Fatalf("disabled pool recorded counters: %+v", st)
+		}
+	})
+}
+
+func TestStatsResetAndDelta(t *testing.T) {
+	withPool(t, 2, func(p *Pool) {
+		p.EnableMetrics(true)
+		p.ParallelFor(100, 1, Simple, func(_ *Worker, _, _ int) {})
+		before := p.Stats()
+		if before.TotalTasks() == 0 {
+			t.Fatal("no tasks recorded")
+		}
+		p.ParallelFor(40, 1, Simple, func(_ *Worker, _, _ int) {})
+		delta := p.Stats().Delta(before)
+		if delta.TotalTasks() != 40 {
+			t.Fatalf("delta tasks = %d, want 40", delta.TotalTasks())
+		}
+		p.ResetMetrics()
+		if st := p.Stats(); st.TotalTasks() != 0 {
+			t.Fatalf("reset left %d tasks", st.TotalTasks())
+		}
+	})
+}
+
+func TestStatsImbalance(t *testing.T) {
+	var s Stats
+	if got := s.Imbalance(); got != 0 {
+		t.Fatalf("empty stats imbalance = %v, want 0", got)
+	}
+	s = Stats{Workers: []WorkerStats{{BusyNanos: 100}, {BusyNanos: 100}}}
+	if got := s.Imbalance(); got != 1 {
+		t.Fatalf("balanced imbalance = %v, want 1", got)
+	}
+	s = Stats{Workers: []WorkerStats{{BusyNanos: 200}, {BusyNanos: 0}}}
+	if got := s.Imbalance(); got != 2 {
+		t.Fatalf("one-sided imbalance = %v, want 2", got)
+	}
+}
+
+func TestStatsIdleTimeRecorded(t *testing.T) {
+	withPool(t, 2, func(p *Pool) {
+		p.EnableMetrics(true)
+		// Run one loop so workers cycle through the park path, then give
+		// them time to sit idle and wake them with a second loop.
+		p.ParallelFor(8, 1, Simple, func(_ *Worker, _, _ int) {})
+		time.Sleep(20 * time.Millisecond)
+		p.ParallelFor(8, 1, Simple, func(_ *Worker, _, _ int) {})
+		var idle int64
+		for _, w := range p.Stats().Workers {
+			idle += w.IdleNanos
+		}
+		if idle <= 0 {
+			t.Fatal("no idle time recorded")
+		}
+	})
+}
+
+func TestStatsStealsHappenUnderImbalance(t *testing.T) {
+	withPool(t, 4, func(p *Pool) {
+		p.EnableMetrics(true)
+		p.ResetMetrics()
+		// A grain-1 simple loop with blocking leaves forces demand and
+		// therefore splits + steals on a multi-worker pool.
+		p.ParallelFor(256, 1, Simple, func(_ *Worker, lo, _ int) {
+			if lo == 0 {
+				time.Sleep(5 * time.Millisecond)
+			}
+		})
+		st := p.Stats()
+		if st.TotalSplits() == 0 {
+			t.Fatal("simple partitioner recorded no splits")
+		}
+		if st.TotalSteals() == 0 {
+			t.Fatal("no steals recorded despite imbalance")
+		}
+	})
+}
