@@ -68,6 +68,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		//pmvet:ignore closecheck -- metrics server lives until process exit; shutdown error is uninteresting
 		defer srv.Close()
 		fmt.Printf("serving metrics on http://%s/ (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
 	}

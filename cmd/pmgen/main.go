@@ -60,13 +60,13 @@ func main() {
 	}
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pmgen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	switch *format {
@@ -77,6 +77,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "pmgen: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+	// Close before checking the write error: a full disk often only
+	// surfaces at close time, and a generated dataset that fails to
+	// close is a truncated dataset.
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmgen: %v\n", err)

@@ -108,6 +108,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		//pmvet:ignore closecheck -- metrics server lives until process exit; shutdown error is uninteresting
 		defer srv.Close()
 		fmt.Printf("serving metrics on http://%s/ (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
 	}
@@ -304,6 +305,7 @@ func readLog(path string) (*events.Log, error) {
 		if err != nil {
 			return nil, err
 		}
+		//pmvet:ignore closecheck -- read-only input; decode errors already surface via the reader
 		defer f.Close()
 	}
 	// Sniff the magic to pick the decoder.

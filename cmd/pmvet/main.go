@@ -1,0 +1,72 @@
+// Command pmvet runs the repository's domain-specific static analyzers
+// (internal/lint) over the module's packages and reports findings as
+//
+//	file:line: rule: message
+//
+// exiting nonzero when any finding remains unsuppressed. It is
+// stdlib-only: packages are parsed and type-checked from source, so it
+// needs nothing beyond the Go toolchain.
+//
+// Usage:
+//
+//	pmvet [-rules panic,hotpath,floateq,closecheck,doc] [-list] [packages]
+//
+// Packages default to ./... and are module-relative patterns
+// ("./internal/core", "./internal/..."). Suppress a single finding with
+// a "//pmvet:ignore rule -- rationale" comment on the offending line or
+// the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmpr/internal/lint"
+)
+
+func main() {
+	var (
+		rules = flag.String("rules", "", "comma-separated rule subset (default: all)")
+		list  = flag.Bool("list", false, "list the available rules and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-11s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fatal(err)
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pmvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pmvet: %v\n", err)
+	os.Exit(2)
+}

@@ -55,8 +55,11 @@ func TopK(ranks []float64, k int) []int32 {
 	}
 	sort.Slice(idx, func(i, j int) bool {
 		ri, rj := ranks[idx[i]], ranks[idx[j]]
-		if ri != rj {
-			return ri > rj
+		if ri > rj {
+			return true
+		}
+		if ri < rj {
+			return false
 		}
 		return idx[i] < idx[j]
 	})
@@ -127,10 +130,10 @@ func Spearman(a, b []float64) float64 {
 		va += da * da
 		vb += db * db
 	}
+	if va == 0 && vb == 0 {
+		return 1
+	}
 	if va == 0 || vb == 0 {
-		if va == vb {
-			return 1
-		}
 		return 0
 	}
 	return cov / math.Sqrt(va*vb)
@@ -148,6 +151,7 @@ func rankOf(vals []float64, idx []int) []float64 {
 	i := 0
 	for i < n {
 		j := i + 1
+		//pmvet:ignore floateq -- tie groups are exact-equality classes by definition
 		for j < n && vals[idx[order[j]]] == vals[idx[order[i]]] {
 			j++
 		}

@@ -33,6 +33,7 @@ const (
 	Nested
 )
 
+// String names the mode the way the paper's figures do.
 func (m ParallelMode) String() string {
 	switch m {
 	case AppLevel:
@@ -62,6 +63,7 @@ const (
 	SpMVBlocked
 )
 
+// String names the kernel as used in reports and CLI flags.
 func (k Kernel) String() string {
 	switch k {
 	case SpMV:
@@ -109,6 +111,14 @@ type Config struct {
 	// has consumed it, keeping only the per-window statistics. Used by
 	// benchmarks to avoid measuring result-retention memory traffic.
 	DiscardRanks bool
+	// Validate enables the structural invariant checks from
+	// internal/invariant: the temporal CSR layout and window coverage
+	// are validated when the engine is constructed, and every window's
+	// rank vector is validated (stochasticity, non-negativity, active
+	// count) after its solve. Validation is read-only and adds O(events
+	// + windows*vertices) work, so it is meant for tests, fuzzing, and
+	// debugging rather than benchmark runs.
+	Validate bool
 }
 
 // DefaultConfig returns the paper's suggested parameters (Sec. 6.3.6):
@@ -127,8 +137,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration.
-func (c Config) Validate() error {
+// Check verifies the configuration parameters are usable.
+func (c Config) Check() error {
 	if err := c.Opts.Validate(); err != nil {
 		return err
 	}
@@ -164,6 +174,7 @@ type ConfigInfo struct {
 	PartialInit       bool    `json:"partial_init"`
 	Directed          bool    `json:"directed"`
 	DiscardRanks      bool    `json:"discard_ranks"`
+	Validate          bool    `json:"validate,omitempty"`
 	Alpha             float64 `json:"alpha"`
 	Tol               float64 `json:"tol"`
 	MaxIter           int     `json:"max_iter"`
@@ -181,6 +192,7 @@ func (c Config) Info() ConfigInfo {
 		PartialInit:       c.PartialInit,
 		Directed:          c.Directed,
 		DiscardRanks:      c.DiscardRanks,
+		Validate:          c.Validate,
 		Alpha:             c.Opts.Alpha,
 		Tol:               c.Opts.Tol,
 		MaxIter:           c.Opts.MaxIter,

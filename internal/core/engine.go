@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pmpr/internal/events"
+	"pmpr/internal/invariant"
 	"pmpr/internal/obs"
 	"pmpr/internal/sched"
 	"pmpr/internal/tcsr"
@@ -19,15 +20,16 @@ type Engine struct {
 	cfg  Config
 	pool *sched.Pool
 
-	trace        *obs.Trace // optional; nil = no trace events
-	buildSeconds float64    // wall time of the TCSR build in NewEngine
+	trace        *obs.Trace    // optional; nil = no trace events
+	val          *runValidator // per-Run violation collector; nil unless cfg.Validate
+	buildSeconds float64       // wall time of the TCSR build in NewEngine
 }
 
 // NewEngine builds the postmortem representation of l under spec and
 // returns an engine. pool may be nil, in which case every mode degrades
 // to a fully serial execution (useful for tests and baselines).
 func NewEngine(l *events.Log, spec events.WindowSpec, cfg Config, pool *sched.Pool) (*Engine, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
 	build := tcsr.Build
@@ -39,6 +41,14 @@ func NewEngine(l *events.Log, spec events.WindowSpec, cfg Config, pool *sched.Po
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Validate {
+		if err := invariant.CheckTemporal(tg); err != nil {
+			return nil, err
+		}
+		if err := invariant.CheckCoverage(tg, l); err != nil {
+			return nil, err
+		}
+	}
 	return &Engine{tg: tg, cfg: cfg, pool: pool, buildSeconds: time.Since(start).Seconds()}, nil
 }
 
@@ -47,7 +57,7 @@ func NewEngine(l *events.Log, spec events.WindowSpec, cfg Config, pool *sched.Po
 // without rebuilding the temporal CSR. cfg.NumMultiWindows is ignored;
 // the partitioning of tg is used. cfg.Directed must match the build.
 func NewEngineFromTemporal(tg *tcsr.Temporal, cfg Config, pool *sched.Pool) (*Engine, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := cfg.Check(); err != nil {
 		return nil, err
 	}
 	if tg == nil {
@@ -56,6 +66,13 @@ func NewEngineFromTemporal(tg *tcsr.Temporal, cfg Config, pool *sched.Pool) (*En
 	if cfg.Directed != tg.Directed {
 		return nil, fmt.Errorf("core: config direction (%v) disagrees with representation (%v)",
 			cfg.Directed, tg.Directed)
+	}
+	if cfg.Validate {
+		// The originating log is not available here; coverage is only
+		// checkable through NewEngine.
+		if err := invariant.CheckTemporal(tg); err != nil {
+			return nil, err
+		}
 	}
 	return &Engine{tg: tg, cfg: cfg, pool: pool}, nil
 }
@@ -101,6 +118,10 @@ func (e *Engine) Run() (*Series, error) {
 		before = e.pool.Stats()
 	}
 	mwSweeps := make([]int64, len(e.tg.MWs))
+	if e.cfg.Validate {
+		e.val = &runValidator{}
+		defer func() { e.val = nil }()
+	}
 	start := time.Now()
 	switch e.cfg.Kernel {
 	case SpMV, SpMVBlocked:
@@ -113,6 +134,11 @@ func (e *Engine) Run() (*Series, error) {
 	wall := time.Since(start).Seconds()
 	if e.trace != nil {
 		e.trace.Complete("solve", "phase", 0, start, time.Since(start), nil)
+	}
+	if e.val != nil {
+		if err := e.val.err(); err != nil {
+			return nil, err
+		}
 	}
 	return &Series{
 		Spec:        e.tg.Spec,
@@ -152,6 +178,7 @@ func (e *Engine) spmvRange(lo, hi, wid int, loop forLoop, results []WindowResult
 					"active": r.ActiveVertices, "warm_start": r.UsedPartialInit,
 				})
 		}
+		e.validateWindow(&r)
 		prev, prevMW = r.ranks, mw
 		if e.cfg.DiscardRanks {
 			r.ranks = nil

@@ -71,6 +71,7 @@ func (e *Engine) solveMW(mwIdx int, mw *tcsr.MultiWindow, wid int, loop forLoop,
 			}
 			batch[s].WallSeconds = dur.Seconds()
 			batch[s].Worker = wid
+			e.validateWindow(&batch[s])
 			ranksByOffset[w-mw.WinLo] = batch[s].ranks
 			if e.cfg.DiscardRanks {
 				batch[s].ranks = nil

@@ -39,9 +39,16 @@ type WindowResult struct {
 
 // Rank returns the PageRank of the global vertex id in this window; 0
 // for vertices outside the window graph. It panics if the ranks were
-// discarded (Config.DiscardRanks).
+// discarded (Config.DiscardRanks); callers that cannot statically rule
+// out a discard (anything downstream of a user-supplied Config) must
+// use RankOK instead — see cmd/pmrank's -out guard.
 func (r *WindowResult) Rank(global int32) float64 {
 	if r.ranks == nil {
+		// The discard/retain decision is made once, at Config time, so
+		// reading a discarded vector is a programming error at the call
+		// site, not a runtime condition to handle; RankOK is the
+		// non-panicking variant for dynamic configs.
+		//pmvet:ignore panic -- documented misuse contract; RankOK is the error-safe accessor
 		panic("core: ranks were discarded (Config.DiscardRanks)")
 	}
 	local := r.mw.LocalID(global)
@@ -69,9 +76,14 @@ func (r *WindowResult) RankOK(global int32) (rank float64, ok bool) {
 func (r *WindowResult) HasRanks() bool { return r.ranks != nil }
 
 // ForEach calls f for every vertex with a positive rank, in ascending
-// global-id order.
+// global-id order. Like Rank it panics when the ranks were discarded
+// (Config.DiscardRanks); check HasRanks first when the config is not
+// statically known.
 func (r *WindowResult) ForEach(f func(global int32, rank float64)) {
 	if r.ranks == nil {
+		// Same contract as Rank: HasRanks/RankOK are the guards for
+		// dynamically-configured callers.
+		//pmvet:ignore panic -- documented misuse contract; HasRanks is the guard
 		panic("core: ranks were discarded (Config.DiscardRanks)")
 	}
 	for local, rank := range r.ranks {
@@ -101,8 +113,11 @@ func (r *WindowResult) TopK(k int) []Ranked {
 	var all []Ranked
 	r.ForEach(func(g int32, rank float64) { all = append(all, Ranked{g, rank}) })
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].Rank != all[j].Rank {
-			return all[i].Rank > all[j].Rank
+		if all[i].Rank > all[j].Rank {
+			return true
+		}
+		if all[i].Rank < all[j].Rank {
+			return false
 		}
 		return all[i].Vertex < all[j].Vertex
 	})
@@ -149,6 +164,7 @@ func (s *Series) AllConverged() bool {
 	return true
 }
 
+// String summarizes the series for logs and test failures.
 func (s *Series) String() string {
 	return fmt.Sprintf("series{windows=%d iterations=%d converged=%v}",
 		s.Len(), s.TotalIterations(), s.AllConverged())

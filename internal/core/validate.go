@@ -1,0 +1,41 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pmpr/internal/invariant"
+)
+
+// runValidator collects invariant violations found while windows solve.
+// Window solves run concurrently on pool workers in the window-level and
+// nested modes, so collection is mutex-guarded.
+type runValidator struct {
+	mu   sync.Mutex
+	errs []error
+}
+
+func (v *runValidator) addf(format string, args ...interface{}) {
+	v.mu.Lock()
+	v.errs = append(v.errs, fmt.Errorf(format, args...))
+	v.mu.Unlock()
+}
+
+func (v *runValidator) err() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return errors.Join(v.errs...)
+}
+
+// validateWindow checks a freshly solved window's rank vector against
+// the invariant catalog. It must run before DiscardRanks nils the
+// vector. No-op unless the Run set up a validator (Config.Validate).
+func (e *Engine) validateWindow(r *WindowResult) {
+	if e.val == nil {
+		return
+	}
+	if err := invariant.CheckRanks(r.ranks, r.ActiveVertices, invariant.DefaultRankTol); err != nil {
+		e.val.addf("core: window %d: %w", r.Window, err)
+	}
+}

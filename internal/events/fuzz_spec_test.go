@@ -1,0 +1,44 @@
+package events_test
+
+import (
+	"testing"
+
+	"pmpr/internal/events"
+	"pmpr/internal/invariant"
+)
+
+// FuzzWindowSpec asserts the sliding-window arithmetic invariants for
+// arbitrary parameters: Start/End/Interval agreement, the Covering
+// closed form, and its boundary behavior at a fuzzed probe timestamp.
+// The test package is external because internal/invariant imports
+// events.
+func FuzzWindowSpec(f *testing.F) {
+	f.Add(int64(0), int64(6), int64(4), 4, int64(7))
+	f.Add(int64(-100), int64(0), int64(1), 50, int64(-100))
+	f.Add(int64(10), int64(3), int64(9), 12, int64(55))
+	f.Fuzz(func(t *testing.T, t0, delta, slide int64, count int, probe int64) {
+		spec := events.WindowSpec{T0: t0, Delta: delta, Slide: slide, Count: count}
+		if spec.Validate() != nil {
+			// Invalid parameters must also be rejected by the checker.
+			if err := invariant.CheckWindowSpec(spec); err == nil {
+				t.Fatal("checker accepted a spec Validate rejects")
+			}
+			return
+		}
+		// Bound the arithmetic so Start/End cannot overflow int64.
+		if count > 1<<16 || delta > 1<<30 || slide > 1<<30 || t0 > 1<<40 || t0 < -(1<<40) {
+			return
+		}
+		if probe > 1<<50 || probe < -(1<<50) {
+			probe %= 1 << 50
+		}
+		if err := invariant.CheckWindowSpec(spec); err != nil {
+			t.Fatalf("window arithmetic invariants violated: %v", err)
+		}
+		for _, probeT := range []int64{probe, t0 - 1, t0, spec.SpanEnd(), spec.SpanEnd() + 1} {
+			if err := invariant.CheckCoveringAt(spec, probeT); err != nil {
+				t.Fatalf("Covering(%d) invariants violated: %v", probeT, err)
+			}
+		}
+	})
+}

@@ -97,6 +97,7 @@ func (w WindowSpec) Sub(from, to int) WindowSpec {
 // SpanEnd returns the inclusive end of the last window.
 func (w WindowSpec) SpanEnd() int64 { return w.End(w.Count - 1) }
 
+// String renders the spec compactly for logs and errors.
 func (w WindowSpec) String() string {
 	return fmt.Sprintf("windows{t0=%d delta=%d sw=%d count=%d}", w.T0, w.Delta, w.Slide, w.Count)
 }

@@ -1,0 +1,206 @@
+// Package lint is the analysis engine behind cmd/pmvet: a small,
+// stdlib-only (go/ast + go/parser + go/types) analyzer driver that
+// loads this module's packages from source and enforces the domain
+// rules the postmortem data structures depend on. The paper's speedups
+// come from shared-structure tricks — temporal CSR with local
+// relabeling, warm-started vectors, multi-window SpMM sweeps — where a
+// silent indexing or allocation mistake produces plausible-but-wrong
+// ranks; these rules make the dangerous patterns loud at review time.
+//
+// Each rule is individually suppressible at a finding site with a
+//
+//	//pmvet:ignore rule[,rule...] [-- rationale]
+//
+// comment on the offending line or the line directly above it. The
+// rationale after "--" is for the human reader; pmvet only matches the
+// rule list.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation, rendered as "file:line: rule: message".
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the canonical pmvet output form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path (e.g. "pmpr/internal/core").
+	Path string
+	// Dir is the absolute directory the files were parsed from.
+	Dir string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's expression/object tables.
+	Info *types.Info
+
+	ignores map[string]map[int][]string // filename -> line -> suppressed rules
+}
+
+// Analyzer is one pmvet rule.
+type Analyzer interface {
+	// Name is the rule identifier used in findings and ignore comments.
+	Name() string
+	// Doc is a one-line description for -list output.
+	Doc() string
+	// Check reports the rule's findings for pkg.
+	Check(pkg *Package) []Finding
+}
+
+// Analyzers returns the full rule set in stable order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		panicRule{},
+		hotpathRule{},
+		floateqRule{},
+		closecheckRule{},
+		docRule{},
+	}
+}
+
+// ByName resolves a comma-separated rule list; unknown names error.
+func ByName(names string) ([]Analyzer, error) {
+	all := Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	var out []Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q (have %s)", n, ruleNames(all))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func ruleNames(as []Analyzer) string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name()
+	}
+	return strings.Join(names, ", ")
+}
+
+// Run applies the analyzers to every package, drops suppressed
+// findings, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		pkg.buildIgnores()
+		for _, a := range analyzers {
+			for _, f := range a.Check(pkg) {
+				if !pkg.suppressed(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+const ignoreMarker = "pmvet:ignore"
+
+// buildIgnores indexes every //pmvet:ignore comment by file and line.
+func (p *Package) buildIgnores() {
+	if p.ignores != nil {
+		return
+	}
+	p.ignores = make(map[string]map[int][]string)
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(strings.TrimSpace(text), "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreMarker) {
+					continue
+				}
+				spec := strings.TrimSpace(strings.TrimPrefix(text, ignoreMarker))
+				if i := strings.Index(spec, "--"); i >= 0 {
+					spec = strings.TrimSpace(spec[:i]) // strip rationale
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := p.ignores[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					p.ignores[pos.Filename] = lines
+				}
+				for _, r := range strings.Split(spec, ",") {
+					if r = strings.TrimSpace(r); r != "" {
+						lines[pos.Line] = append(lines[pos.Line], r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// suppressed reports whether an ignore comment on the finding's line or
+// the line above names the finding's rule.
+func (p *Package) suppressed(f Finding) bool {
+	lines := p.ignores[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == f.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// findingf appends a finding at node's position.
+func (p *Package) findingf(out *[]Finding, node ast.Node, rule, format string, args ...interface{}) {
+	*out = append(*out, Finding{
+		Pos:  p.Fset.Position(node.Pos()),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// isTestFile reports whether the file's name ends in _test.go (the
+// loader skips those, but in-memory fixtures may include them).
+func isTestFile(p *Package, file *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(file.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// testFset and testImporter are shared across fixtures so the stdlib
+// packages a fixture imports (fmt, ...) are type-checked once.
+var (
+	testFset     = token.NewFileSet()
+	testImporter = importer.ForCompiler(testFset, "source", nil)
+)
+
+// loadFixture type-checks one in-memory source file under the given
+// import path and file name (both matter: rules scope by path and by
+// file base name).
+func loadFixture(t *testing.T, path, filename, src string) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(testFset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	var imp types.Importer
+	for _, spec := range f.Imports {
+		_ = spec
+		imp = testImporter
+	}
+	pkg, err := TypeCheck(path, testFset, []*ast.File{f}, imp)
+	if err != nil {
+		t.Fatalf("type-check fixture: %v", err)
+	}
+	return pkg
+}
+
+// runRule applies a single rule (with suppression) to a fixture.
+func runRule(t *testing.T, rule string, pkg *Package) []Finding {
+	t.Helper()
+	as, err := ByName(rule)
+	if err != nil {
+		t.Fatalf("ByName(%q): %v", rule, err)
+	}
+	return Run([]*Package{pkg}, as)
+}
+
+func TestFindingFormat(t *testing.T) {
+	pkg := loadFixture(t, "pmpr/internal/fake", "fake.go", `package fake
+func f() { panic("boom") }
+`)
+	fs := runRule(t, "panic", pkg)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 finding, got %v", fs)
+	}
+	// The driver contract: "file:line: rule: message".
+	want := regexp.MustCompile(`^fake\.go:2: panic: .+$`)
+	if !want.MatchString(fs[0].String()) {
+		t.Errorf("finding %q does not match file:line: rule: message", fs[0].String())
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"same-line", `package fake
+func f() { panic("x") } //pmvet:ignore panic -- fixture rationale
+`, 0},
+		{"line-above", `package fake
+func f() {
+	//pmvet:ignore panic
+	panic("x")
+}
+`, 0},
+		{"wrong-rule", `package fake
+func f() {
+	//pmvet:ignore floateq
+	panic("x")
+}
+`, 1},
+		{"multi-rule-list", `package fake
+func f() {
+	//pmvet:ignore floateq,panic -- two rules at once
+	panic("x")
+}
+`, 0},
+		{"too-far-above", `package fake
+//pmvet:ignore panic
+func f() {
+	panic("x")
+}
+`, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := loadFixture(t, "pmpr/internal/fake", "fake.go", tc.src)
+			if got := runRule(t, "panic", pkg); len(got) != tc.want {
+				t.Errorf("want %d findings, got %v", tc.want, got)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("nosuchrule"); err == nil || !strings.Contains(err.Error(), "nosuchrule") {
+		t.Errorf("unknown rule: want naming error, got %v", err)
+	}
+	as, err := ByName("panic, doc")
+	if err != nil || len(as) != 2 {
+		t.Errorf("subset: want 2 analyzers, got %v (%v)", as, err)
+	}
+	all, err := ByName("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Errorf("empty list: want all analyzers, got %d (%v)", len(all), err)
+	}
+}
+
+func TestRunSortsFindings(t *testing.T) {
+	pkg := loadFixture(t, "pmpr/internal/fake", "fake.go", `package fake
+func b() { panic("late") }
+func a() { panic("early") }
+`)
+	fs := runRule(t, "panic", pkg)
+	if len(fs) != 2 || fs[0].Pos.Line > fs[1].Pos.Line {
+		t.Errorf("findings not sorted by line: %v", fs)
+	}
+}

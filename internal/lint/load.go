@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks this module's packages from source.
+// It needs no export data and no tooling beyond the standard library:
+// module-internal imports are resolved by recursively loading the
+// imported directory, everything else falls back to the stdlib source
+// importer.
+type Loader struct {
+	fset    *token.FileSet
+	root    string // absolute module root (directory of go.mod)
+	module  string // module path declared in go.mod
+	std     types.Importer
+	cache   map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module whose go.mod is found in
+// dir or the nearest parent of dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    root,
+		module:  module,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Module returns the module path of the loaded module.
+func (l *Loader) Module() string { return l.module }
+
+// Root returns the module root directory.
+func (l *Loader) Root() string { return l.root }
+
+func findModule(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load resolves the package patterns (import paths relative to the
+// module root; "..." suffixes expand recursively, "./..." means the
+// whole module) and returns the matched packages, loaded and
+// type-checked, in deterministic path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		if err := l.expand(pat, dirs); err != nil {
+			return nil, err
+		}
+	}
+	paths := make([]string, 0, len(dirs))
+	for d := range dirs {
+		paths = append(paths, l.importPath(d))
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.loadPath(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) expand(pat string, dirs map[string]bool) error {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+	} else if pat == "..." {
+		recursive, pat = true, "."
+	}
+	dir := filepath.Join(l.root, strings.TrimPrefix(pat, "./"))
+	info, err := os.Stat(dir)
+	if err != nil || !info.IsDir() {
+		return fmt.Errorf("lint: pattern %q: no such directory %s", pat, dir)
+	}
+	if !recursive {
+		if hasGoFiles(dir) {
+			dirs[dir] = true
+			return nil
+		}
+		return fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	return filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs[path] = true
+		}
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) bool {
+	names, err := goFileNames(dir)
+	return err == nil && len(names) > 0
+}
+
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (l *Loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || rel == "." {
+		return l.module
+	}
+	return l.module + "/" + filepath.ToSlash(rel)
+}
+
+// Import implements types.Importer: module-internal paths are loaded
+// from source, everything else (the standard library) is delegated.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.root
+	if path != l.module {
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+	}
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := TypeCheck(path, l.fset, files, l)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// TypeCheck builds an analyzable Package from already-parsed files.
+// imp resolves imports; nil is fine for import-free fixture sources.
+func TypeCheck(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

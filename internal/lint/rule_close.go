@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// closecheckRule flags Close/Flush calls whose error result is
+// discarded (bare statement, defer, or go) in the IO-heavy packages:
+// internal/events and internal/results write the event logs and rank
+// series that downstream analyses trust, and the cmd/ front-ends own
+// the files those packages stream into. A buffered writer reports
+// short writes at Flush/Close time — dropping that error turns a full
+// disk into silently truncated results. Read-side closes where the
+// error is genuinely uninteresting take //pmvet:ignore closecheck with
+// a rationale.
+type closecheckRule struct{}
+
+func (closecheckRule) Name() string { return "closecheck" }
+func (closecheckRule) Doc() string {
+	return "no discarded Close/Flush errors in internal/events, internal/results, and cmd/*"
+}
+
+func closecheckScope(path string) bool {
+	return strings.Contains(path, "internal/events") ||
+		strings.Contains(path, "internal/results") ||
+		strings.Contains(path, "/cmd/")
+}
+
+func (r closecheckRule) Check(pkg *Package) []Finding {
+	if !closecheckScope(pkg.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := ""
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call, kind = st.Call, "defer "
+			case *ast.GoStmt:
+				call, kind = st.Call, "go "
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Flush") {
+				return true
+			}
+			if !callReturnsValue(pkg, call) {
+				return true
+			}
+			pkg.findingf(&out, call, r.Name(),
+				"%s%s error discarded (a failed close/flush on a write path loses data)",
+				kind, types.ExprString(call.Fun))
+			return true
+		})
+	}
+	return out
+}
+
+// callReturnsValue reports whether the call has at least one result.
+// Without type info (fixture sources) it assumes it does.
+func callReturnsValue(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return true
+	}
+	return !tv.IsVoid()
+}

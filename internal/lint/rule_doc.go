@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// docRule enforces doc comments on exported symbols of non-main
+// packages. The representation invariants this module relies on (local
+// id spaces, read-only CSR views, discarded-rank contracts) live in doc
+// comments; an undocumented exported symbol is an invariant someone
+// will violate.
+type docRule struct{}
+
+func (docRule) Name() string { return "doc" }
+func (docRule) Doc() string {
+	return "exported symbols of library packages must carry doc comments"
+}
+
+func (r docRule) Check(pkg *Package) []Finding {
+	if pkg.Types != nil && pkg.Types.Name() == "main" {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file) {
+			continue
+		}
+		if file.Name.Name == "main" {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && exportedRecv(d) && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					pkg.findingf(&out, d.Name, r.Name(), "exported %s %s is undocumented", kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				r.checkGenDecl(pkg, d, &out)
+			}
+		}
+	}
+	return out
+}
+
+func (r docRule) checkGenDecl(pkg *Package, d *ast.GenDecl, out *[]Finding) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+				pkg.findingf(out, s.Name, r.Name(), "exported type %s is undocumented", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil || d.Doc != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					pkg.findingf(out, name, r.Name(), "exported %s %s is undocumented", kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether the declaration is a plain function or a
+// method on an exported receiver type (methods on unexported types are
+// not reachable by API users).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floateqRule flags == and != between floating-point operands. Rank
+// vectors are built by iterative accumulation, so two mathematically
+// equal ranks rarely share a bit pattern; exact comparison silently
+// changes tie-breaks and convergence decisions. Comparisons against the
+// constant zero are exempt: the kernels use exactly-assigned 0 as the
+// "dangling / inactive" sentinel, which is a well-defined bit test.
+type floateqRule struct{}
+
+func (floateqRule) Name() string { return "floateq" }
+func (floateqRule) Doc() string {
+	return "no ==/!= on float operands outside tests (exact-zero sentinel compares are exempt)"
+}
+
+func (r floateqRule) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(pkg, be.X) && !isFloatExpr(pkg, be.Y) {
+				return true
+			}
+			if isZeroConst(pkg, be.X) || isZeroConst(pkg, be.Y) {
+				return true
+			}
+			pkg.findingf(&out, be, r.Name(),
+				"floating-point %s comparison (use a tolerance, or compare ordered: < then >)", be.Op)
+			return true
+		})
+	}
+	return out
+}
+
+func isFloatExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

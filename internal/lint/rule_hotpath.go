@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// hotpathRule guards the per-vertex/per-edge loop bodies of the hot
+// kernels: the function literals handed to a forLoop (`loop(n, ...)`)
+// or to the scheduler's ParallelFor. These closures run millions of
+// times per solve; a stray fmt call, an append that grows a slice, a
+// map literal, or a string concatenation turns an O(edges) sweep into
+// an allocation storm that the benchmarks then misattribute to the
+// algorithm. The rule applies only to the designated hot files
+// (internal/core/kernel_*.go + loop.go, internal/sched/sched.go,
+// internal/streaming/runner.go).
+type hotpathRule struct{}
+
+func (hotpathRule) Name() string { return "hotpath" }
+func (hotpathRule) Doc() string {
+	return "no fmt/log, append, map allocation, or string concat inside hot kernel loop bodies"
+}
+
+// hotFile reports whether the rule covers this file.
+func hotFile(pkgPath, base string) bool {
+	switch {
+	case strings.HasSuffix(pkgPath, "internal/core"):
+		return strings.HasPrefix(base, "kernel_") || base == "loop.go"
+	case strings.HasSuffix(pkgPath, "internal/sched"):
+		return base == "sched.go"
+	case strings.HasSuffix(pkgPath, "internal/streaming"):
+		return base == "runner.go"
+	}
+	return false
+}
+
+// hotLoopCall reports whether call hands a loop body to the scheduler:
+// a direct `loop(...)` (the kernels' forLoop parameter) or a
+// `.ParallelFor(...)` method call.
+func hotLoopCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "loop"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "ParallelFor"
+	}
+	return false
+}
+
+func (r hotpathRule) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file) {
+			continue
+		}
+		base := filepath.Base(pkg.Fset.Position(file.Pos()).Filename)
+		if !hotFile(pkg.Path, base) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !hotLoopCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if body, ok := arg.(*ast.FuncLit); ok {
+					r.checkBody(pkg, body.Body, &out)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (r hotpathRule) checkBody(pkg *Package, body ast.Node, out *[]Finding) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			r.checkCall(pkg, n, out)
+		case *ast.CompositeLit:
+			if _, ok := n.Type.(*ast.MapType); ok {
+				pkg.findingf(out, n, r.Name(), "map literal allocated inside a hot kernel loop")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pkg, n.X) {
+				pkg.findingf(out, n, r.Name(), "string concatenation inside a hot kernel loop")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pkg, n.Lhs[0]) {
+				pkg.findingf(out, n, r.Name(), "string concatenation inside a hot kernel loop")
+			}
+		}
+		return true
+	})
+}
+
+func (r hotpathRule) checkCall(pkg *Package, call *ast.CallExpr, out *[]Finding) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "append":
+			if isBuiltin(pkg, fun) {
+				pkg.findingf(out, call, r.Name(),
+					"append inside a hot kernel loop (preallocate the slice outside the loop)")
+			}
+		case "print", "println":
+			if isBuiltin(pkg, fun) {
+				pkg.findingf(out, call, r.Name(), "%s call inside a hot kernel loop", fun.Name)
+			}
+		}
+	case *ast.SelectorExpr:
+		if pkgName := importedPackage(pkg, fun); pkgName == "fmt" || pkgName == "log" {
+			pkg.findingf(out, call, r.Name(),
+				"%s.%s call inside a hot kernel loop (format outside, or gate behind the trace writer)",
+				pkgName, fun.Sel.Name)
+		} else if _, ok := fun.X.(*ast.Ident); ok && pkgName == "" && callMakesMap(pkg, call) {
+			pkg.findingf(out, call, r.Name(), "map allocation inside a hot kernel loop")
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltin(pkg, id) && callMakesMap(pkg, call) {
+		pkg.findingf(out, call, r.Name(), "map allocation inside a hot kernel loop")
+	}
+}
+
+// callMakesMap reports whether call is make(map[...]...).
+func callMakesMap(pkg *Package, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	if _, ok := call.Args[0].(*ast.MapType); ok {
+		return true
+	}
+	if tv, ok := pkg.Info.Types[call.Args[0]]; ok && tv.IsType() {
+		_, isMap := tv.Type.Underlying().(*types.Map)
+		return isMap
+	}
+	return false
+}
+
+// isBuiltin reports whether id resolves to a Go builtin (not shadowed).
+func isBuiltin(pkg *Package, id *ast.Ident) bool {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return true // no type info: assume the spelling means the builtin
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// importedPackage returns the imported package name sel.X refers to
+// ("fmt", "log", ...) or "" when sel is not a package selector.
+func importedPackage(pkg *Package, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// isStringExpr reports whether e's type is (an alias of) string.
+func isStringExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// panicRule forbids panic calls in internal/* library code. Library
+// callers cannot recover meaningfully from a panic raised deep inside a
+// kernel or representation; misuse contracts belong in returned errors
+// (or an *OK accessor variant like WindowResult.RankOK). Deliberate
+// panics must carry a //pmvet:ignore panic comment with a rationale.
+type panicRule struct{}
+
+func (panicRule) Name() string { return "panic" }
+func (panicRule) Doc() string {
+	return "no panic in internal/* library code (return errors; annotate deliberate contract panics)"
+}
+
+func (r panicRule) Check(pkg *Package) []Finding {
+	if !strings.Contains(pkg.Path, "internal/") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				if _, builtin := obj.(*types.Builtin); !builtin {
+					return true // shadowed: a local function named panic
+				}
+			}
+			pkg.findingf(&out, call, r.Name(),
+				"panic in library code; return an error (or add an *OK accessor) instead")
+			return true
+		})
+	}
+	return out
+}

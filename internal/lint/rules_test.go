@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every rule gets at least one positive fixture (seeded violation is
+// reported) and one negative fixture (conforming code stays silent).
+
+func TestPanicRule(t *testing.T) {
+	bad := `package core
+func f(ok bool) {
+	if !ok {
+		panic("unreachable")
+	}
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/core", "f.go", bad)
+	if fs := runRule(t, "panic", pkg); len(fs) != 1 {
+		t.Errorf("internal package: want 1 finding, got %v", fs)
+	}
+	// The rule covers library code only: a cmd/ package may panic.
+	pkg = loadFixture(t, "pmpr/cmd/tool", "f.go", bad)
+	if fs := runRule(t, "panic", pkg); len(fs) != 0 {
+		t.Errorf("cmd package: want 0 findings, got %v", fs)
+	}
+	// A local function that shadows the builtin is not a panic.
+	shadow := `package core
+func panic(string) {}
+func f() { panic("just a name") }
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "shadow.go", shadow)
+	if fs := runRule(t, "panic", pkg); len(fs) != 0 {
+		t.Errorf("shadowed panic: want 0 findings, got %v", fs)
+	}
+}
+
+func TestHotpathRule(t *testing.T) {
+	bad := `package core
+
+import "fmt"
+
+func loop(n int, body func(lo, hi int)) { body(0, n) }
+
+func kernel(xs []int, names []string) {
+	var out []int
+	s := ""
+	loop(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fmt.Println(xs[i])
+			out = append(out, xs[i])
+			seen := map[int]bool{}
+			_ = seen
+			m := make(map[int]int, 4)
+			_ = m
+			s += names[i]
+			t := names[i] + "!"
+			_ = t
+		}
+	})
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/core", "kernel_fixture.go", bad)
+	fs := runRule(t, "hotpath", pkg)
+	if len(fs) != 6 {
+		t.Fatalf("hot file: want 6 findings (fmt, append, map literal, make map, +=, +), got %d: %v", len(fs), fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "hot kernel loop") {
+			t.Errorf("finding message %q should mention the hot kernel loop", f.Msg)
+		}
+	}
+
+	// Identical code in a non-hot file of the same package is allowed.
+	pkg = loadFixture(t, "pmpr/internal/core", "setup.go", bad)
+	if fs := runRule(t, "hotpath", pkg); len(fs) != 0 {
+		t.Errorf("non-hot file: want 0 findings, got %v", fs)
+	}
+
+	// Allocation and formatting outside the loop closure are allowed,
+	// as is arithmetic inside it.
+	good := `package core
+
+import "fmt"
+
+func loop(n int, body func(lo, hi int)) { body(0, n) }
+
+func kernel(xs []int) int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	sum := 0
+	loop(len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += out[i]
+		}
+	})
+	fmt.Println(sum)
+	return sum
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "kernel_good.go", good)
+	if fs := runRule(t, "hotpath", pkg); len(fs) != 0 {
+		t.Errorf("conforming kernel: want 0 findings, got %v", fs)
+	}
+}
+
+func TestHotpathRuleParallelFor(t *testing.T) {
+	src := `package sched
+
+type pool struct{}
+
+func (pool) ParallelFor(n, grain int, body func(lo, hi int)) { body(0, n) }
+
+func drive(p pool, xs []int) {
+	var log []int
+	p.ParallelFor(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			log = append(log, xs[i])
+		}
+	})
+	_ = log
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/sched", "sched.go", src)
+	if fs := runRule(t, "hotpath", pkg); len(fs) != 1 {
+		t.Errorf("ParallelFor body: want 1 finding, got %v", fs)
+	}
+}
+
+func TestFloateqRule(t *testing.T) {
+	bad := `package core
+func eq(a, b float64) bool { return a == b }
+func ne(a []float32, i, j int) bool { return a[i] != a[j] }
+`
+	pkg := loadFixture(t, "pmpr/internal/core", "f.go", bad)
+	if fs := runRule(t, "floateq", pkg); len(fs) != 2 {
+		t.Errorf("float compare: want 2 findings, got %v", fs)
+	}
+
+	good := `package core
+func zeroSentinel(a float64) bool { return a == 0 }
+func zeroFloat(a float64) bool { return a != 0.0 }
+func ints(a, b int) bool { return a == b }
+func tol(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+func ordered(a, b float64) bool {
+	if a > b {
+		return true
+	}
+	return a < b
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "g.go", good)
+	if fs := runRule(t, "floateq", pkg); len(fs) != 0 {
+		t.Errorf("conforming compares: want 0 findings, got %v", fs)
+	}
+}
+
+func TestClosecheckRule(t *testing.T) {
+	bad := `package events
+type file struct{}
+func (file) Close() error { return nil }
+func (file) Flush() error { return nil }
+func write(f file) {
+	defer f.Close()
+	f.Flush()
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/events", "io.go", bad)
+	fs := runRule(t, "closecheck", pkg)
+	if len(fs) != 2 {
+		t.Fatalf("discarded close/flush: want 2 findings, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "defer f.Close") {
+		t.Errorf("finding should name the deferred call, got %q", fs[0].Msg)
+	}
+
+	// Out-of-scope packages are not checked.
+	pkg = loadFixture(t, "pmpr/internal/core", "io.go", bad)
+	if fs := runRule(t, "closecheck", pkg); len(fs) != 0 {
+		t.Errorf("out-of-scope package: want 0 findings, got %v", fs)
+	}
+
+	good := `package events
+type file struct{}
+func (file) Close() error { return nil }
+func (file) Flush() error { return nil }
+type pool struct{}
+func (pool) Close() {}
+func write(f file, p pool) error {
+	defer p.Close() // void Close: nothing to check
+	if err := f.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/events", "ok.go", good)
+	if fs := runRule(t, "closecheck", pkg); len(fs) != 0 {
+		t.Errorf("checked closes: want 0 findings, got %v", fs)
+	}
+}
+
+func TestDocRule(t *testing.T) {
+	bad := `package core
+
+func Exported() {}
+type Thing struct{}
+func (Thing) Method() {}
+const Limit = 3
+var Global int
+`
+	pkg := loadFixture(t, "pmpr/internal/core", "f.go", bad)
+	fs := runRule(t, "doc", pkg)
+	if len(fs) != 5 {
+		t.Fatalf("undocumented exports: want 5 findings, got %d: %v", len(fs), fs)
+	}
+
+	good := `package core
+// Exported does a documented thing.
+func Exported() {}
+// Thing is documented.
+type Thing struct{}
+// Method is documented.
+func (Thing) Method() {}
+// Limit bounds things.
+const Limit = 3
+// Grouped constants share the declaration doc.
+const (
+	A = 1
+	B = 2
+)
+func unexported() {}
+type hidden struct{}
+func (hidden) Exposed() {} // method on unexported type: unreachable
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "g.go", good)
+	if fs := runRule(t, "doc", pkg); len(fs) != 0 {
+		t.Errorf("documented exports: want 0 findings, got %v", fs)
+	}
+
+	// main packages are exempt (their surface is flags, not symbols).
+	mainSrc := `package main
+func Exported() {}
+func main() {}
+`
+	pkg = loadFixture(t, "pmpr/cmd/tool", "main.go", mainSrc)
+	if fs := runRule(t, "doc", pkg); len(fs) != 0 {
+		t.Errorf("main package: want 0 findings, got %v", fs)
+	}
+}

@@ -44,6 +44,7 @@ const (
 	Static
 )
 
+// String names the partitioner as used in reports and CLI flags.
 func (p Partitioner) String() string {
 	switch p {
 	case Auto:

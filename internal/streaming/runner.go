@@ -31,6 +31,7 @@ const (
 	Frontier
 )
 
+// String names the strategy as used in reports and CLI flags.
 func (s Strategy) String() string {
 	switch s {
 	case WarmRestart:

@@ -1,0 +1,72 @@
+package tcsr_test
+
+import (
+	"testing"
+
+	"pmpr/internal/events"
+	"pmpr/internal/invariant"
+	"pmpr/internal/tcsr"
+)
+
+// FuzzBuildTCSR decodes an arbitrary byte string into an event log,
+// builds the postmortem representation under fuzzed window parameters,
+// and asserts the full structural invariant catalog: temporal CSR
+// layout, local-relabel bijectivity, multi-window partition, and exact
+// window coverage of the log. The test package is external because
+// internal/invariant imports tcsr.
+func FuzzBuildTCSR(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 2, 2, 3, 4, 0, 4, 1}, int64(6), int64(4), 4, 2, true)
+	f.Add([]byte{0, 0, 0}, int64(0), int64(1), 1, 1, false)
+	f.Add([]byte{5, 9, 1, 9, 5, 3}, int64(2), int64(7), 9, 3, true)
+	f.Fuzz(func(t *testing.T, data []byte, delta, slide int64, count, numMW int, directed bool) {
+		// Bound the fuzzed parameters: the validators walk every window.
+		if delta < 0 || slide <= 0 || count <= 0 || count > 64 || numMW < 1 {
+			return
+		}
+		if delta > 1<<20 || slide > 1<<20 {
+			return
+		}
+		l := decodeLog(t, data)
+		if l == nil {
+			return
+		}
+		if !directed {
+			l = l.Symmetrize()
+		}
+		spec := events.WindowSpec{T0: 0, Delta: delta, Slide: slide, Count: count}
+		tg, err := tcsr.Build(l, spec, numMW, directed)
+		if err != nil {
+			t.Fatalf("Build rejected a valid spec: %v", err)
+		}
+		if err := invariant.CheckTemporal(tg); err != nil {
+			t.Fatalf("structural invariants violated: %v", err)
+		}
+		if err := invariant.CheckCoverage(tg, l); err != nil {
+			t.Fatalf("coverage invariants violated: %v", err)
+		}
+	})
+}
+
+// decodeLog deterministically turns a fuzzer byte string into a small
+// sorted event log: bytes are consumed in (u, v, dt) triples.
+func decodeLog(t *testing.T, data []byte) *events.Log {
+	t.Helper()
+	if len(data) < 3 || len(data) > 3*256 {
+		return nil
+	}
+	var evs []events.Event
+	var now int64
+	for i := 0; i+2 < len(data); i += 3 {
+		now += int64(data[i+2] % 16)
+		evs = append(evs, events.Event{
+			U: int32(data[i] % 16),
+			V: int32(data[i+1] % 16),
+			T: now,
+		})
+	}
+	l, err := events.NewLog(evs, 16)
+	if err != nil {
+		t.Fatalf("NewLog on sorted synthetic events: %v", err)
+	}
+	return l
+}
