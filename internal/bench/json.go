@@ -35,6 +35,7 @@ type EngineRunSummary struct {
 	TotalSweeps     int64   `json:"total_sweeps"`
 	WarmStartRate   float64 `json:"warm_start_rate"`
 	LoadImbalance   float64 `json:"load_imbalance,omitempty"`
+	ScratchHitRate  float64 `json:"scratch_hit_rate,omitempty"`
 }
 
 // JSONReport is the machine-readable counterpart of the rendered
@@ -87,6 +88,7 @@ func (j *JSONReport) Sink() func(*core.RunReport) {
 			TotalSweeps:     r.TotalSweeps,
 			WarmStartRate:   r.WarmStart.HitRate,
 			LoadImbalance:   loadImbalance(r),
+			ScratchHitRate:  scratchHitRate(r),
 		})
 	}
 }
@@ -96,6 +98,13 @@ func loadImbalance(r *core.RunReport) float64 {
 		return 0
 	}
 	return r.Sched.LoadImbalance
+}
+
+func scratchHitRate(r *core.RunReport) float64 {
+	if r.Scratch == nil {
+		return 0
+	}
+	return r.Scratch.HitRate
 }
 
 // RunExperiment executes one experiment, timing it and recording the

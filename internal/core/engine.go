@@ -16,13 +16,22 @@ import (
 // It owns the temporal CSR representation (built once, reused across
 // Run calls) and a reference to a scheduler pool.
 type Engine struct {
-	tg   *tcsr.Temporal
-	cfg  Config
-	pool *sched.Pool
+	tg    *tcsr.Temporal
+	cfg   Config
+	pool  *sched.Pool
+	arena *scratchArena // kernel working memory, reused across Run calls
 
 	trace        *obs.Trace    // optional; nil = no trace events
 	val          *runValidator // per-Run violation collector; nil unless cfg.Validate
 	buildSeconds float64       // wall time of the TCSR build in NewEngine
+}
+
+// newArena sizes the scratch arena for pool (nil = serial engine).
+func newArena(pool *sched.Pool) *scratchArena {
+	if pool == nil {
+		return newScratchArena(0)
+	}
+	return newScratchArena(pool.NumWorkers())
 }
 
 // NewEngine builds the postmortem representation of l under spec and
@@ -49,7 +58,8 @@ func NewEngine(l *events.Log, spec events.WindowSpec, cfg Config, pool *sched.Po
 			return nil, err
 		}
 	}
-	return &Engine{tg: tg, cfg: cfg, pool: pool, buildSeconds: time.Since(start).Seconds()}, nil
+	return &Engine{tg: tg, cfg: cfg, pool: pool, arena: newArena(pool),
+		buildSeconds: time.Since(start).Seconds()}, nil
 }
 
 // NewEngineFromTemporal wraps an existing representation, so that
@@ -74,8 +84,13 @@ func NewEngineFromTemporal(tg *tcsr.Temporal, cfg Config, pool *sched.Pool) (*En
 			return nil, err
 		}
 	}
-	return &Engine{tg: tg, cfg: cfg, pool: pool}, nil
+	return &Engine{tg: tg, cfg: cfg, pool: pool, arena: newArena(pool)}, nil
 }
+
+// ScratchStats snapshots the scratch arena's buffer-reuse counters.
+// After a warm-up Run with Config.DiscardRanks the miss delta across
+// further Run calls is zero: the steady state allocates nothing.
+func (e *Engine) ScratchStats() ScratchStats { return e.arena.stats() }
 
 // Temporal exposes the underlying representation.
 func (e *Engine) Temporal() *tcsr.Temporal { return e.tg }
@@ -117,6 +132,7 @@ func (e *Engine) Run() (*Series, error) {
 	if e.pool != nil && e.pool.MetricsEnabled() {
 		before = e.pool.Stats()
 	}
+	scratchBefore := e.arena.stats()
 	mwSweeps := make([]int64, len(e.tg.MWs))
 	if e.cfg.Validate {
 		e.val = &runValidator{}
@@ -131,9 +147,12 @@ func (e *Engine) Run() (*Series, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown kernel %v", e.cfg.Kernel)
 	}
-	wall := time.Since(start).Seconds()
+	// Measure the solve duration once; the trace event and the report
+	// wall must agree (they used to be two time.Since calls apart).
+	dur := time.Since(start)
+	wall := dur.Seconds()
 	if e.trace != nil {
-		e.trace.Complete("solve", "phase", 0, start, time.Since(start), nil)
+		e.trace.Complete("solve", "phase", 0, start, dur, nil)
 	}
 	if e.val != nil {
 		if err := e.val.err(); err != nil {
@@ -144,7 +163,7 @@ func (e *Engine) Run() (*Series, error) {
 		Spec:        e.tg.Spec,
 		NumVertices: e.tg.NumVertices(),
 		Results:     results,
-		Report:      e.buildReport(results, mwSweeps, wall, before),
+		Report:      e.buildReport(results, mwSweeps, wall, before, scratchBefore),
 	}, nil
 }
 
@@ -154,6 +173,8 @@ func (e *Engine) Run() (*Series, error) {
 // lives in the same multi-window graph — exactly the paper's "if the
 // same thread processes Gi-1 and Gi, partial initialization occurs".
 func (e *Engine) spmvRange(lo, hi, wid int, loop forLoop, results []WindowResult) {
+	sb, release := e.arena.acquire(wid)
+	defer release()
 	var prev []float64
 	var prevMW *tcsr.MultiWindow
 	solver := e.solveWindow
@@ -167,7 +188,7 @@ func (e *Engine) spmvRange(lo, hi, wid int, loop forLoop, results []WindowResult
 			init = prev
 		}
 		t0 := time.Now()
-		r := solver(mw, w, init, loop)
+		r := solver(mw, w, init, sb, loop)
 		dur := time.Since(t0)
 		r.WallSeconds = dur.Seconds()
 		r.Worker = wid
@@ -179,11 +200,18 @@ func (e *Engine) spmvRange(lo, hi, wid int, loop forLoop, results []WindowResult
 				})
 		}
 		e.validateWindow(&r)
+		if e.cfg.DiscardRanks && prev != nil {
+			// The predecessor vector has served its warm start; recycle.
+			sb.putF64(prev)
+		}
 		prev, prevMW = r.ranks, mw
 		if e.cfg.DiscardRanks {
 			r.ranks = nil
 		}
 		results[w] = r
+	}
+	if e.cfg.DiscardRanks && prev != nil {
+		sb.putF64(prev)
 	}
 }
 
@@ -196,8 +224,12 @@ func (e *Engine) runSpMV(results []WindowResult) {
 		e.spmvRange(0, count, -1, serialLoop, results)
 	case e.cfg.Mode == AppLevel:
 		// Windows strictly in order; all parallelism inside the kernel.
-		inner := poolLoop(e.pool, grain, part)
-		e.spmvRange(0, count, -1, inner, results)
+		// The window loop runs on one pool worker (via Run) so the inner
+		// loops fork from a worker context instead of paying the
+		// external-submission path per parallel region.
+		e.pool.Run(func(w *sched.Worker) {
+			e.spmvRange(0, count, -1, workerLoop(w, grain, part), results)
+		})
 	case e.cfg.Mode == WindowLevel:
 		e.pool.ParallelFor(count, grain, part, func(w *sched.Worker, lo, hi int) {
 			e.spmvRange(lo, hi, w.ID(), serialLoop, results)
@@ -219,10 +251,12 @@ func (e *Engine) runSpMM(results []WindowResult, mwSweeps []int64) {
 			e.solveMW(i, mw, -1, serialLoop, results, mwSweeps)
 		}
 	case e.cfg.Mode == AppLevel:
-		inner := poolLoop(e.pool, grain, part)
-		for i, mw := range mws {
-			e.solveMW(i, mw, -1, inner, results, mwSweeps)
-		}
+		e.pool.Run(func(w *sched.Worker) {
+			inner := workerLoop(w, grain, part)
+			for i, mw := range mws {
+				e.solveMW(i, mw, -1, inner, results, mwSweeps)
+			}
+		})
 	case e.cfg.Mode == WindowLevel:
 		// The multi-window graph is the unit of window-level work for
 		// SpMM: its batches are sequentially dependent through partial

@@ -2,8 +2,8 @@ package core
 
 import (
 	"math"
-	"sync/atomic"
 
+	"pmpr/internal/sched"
 	"pmpr/internal/tcsr"
 )
 
@@ -18,23 +18,28 @@ import (
 // sequential passes.
 //
 // Bin capacities are the per-bin counts of active edges, which are
-// fixed for the window, so the buffers are sized once and reused across
-// iterations; parallel phase 1 claims slots with atomic cursors.
-func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64, loop forLoop) WindowResult {
+// fixed for the window, so the buffers are sized once (from the
+// scratch arena) and reused across iterations; parallel phase 1 claims
+// slots with atomic cursors. The bin-counting pass reduces through
+// per-lane slots — lane l owns counts [l*numBins, (l+1)*numBins) — so
+// its leaves neither allocate nor contend.
+func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64, sb *scratchBuf, loop forLoop) WindowResult {
 	n := int(mw.NumLocal())
-	st := computeWindowState(mw, w, e.cfg.Directed, loop)
+	st := computeWindowState(mw, w, e.cfg.Directed, loop, sb)
 	res := WindowResult{Window: w, ActiveVertices: st.na, mw: mw}
-	x := make([]float64, n)
+	x := sb.getF64(n)
 	if st.na == 0 {
+		releaseWindowState(sb, st)
 		res.Converged = true
 		res.ranks = x
 		return res
 	}
-	res.UsedPartialInit = initVector(x, prev, st, loop)
+	res.UsedPartialInit = initVector(x, prev, st, loop, sb)
 
 	ts, te := mw.Window(w)
 	opt := e.cfg.Opts
 	invNA := 1 / float64(st.na)
+	lanes := sb.lanes()
 
 	// Destination bins: binWidth vertices each, so phase 2 writes stay
 	// within a cache-friendly stripe of y.
@@ -45,11 +50,11 @@ func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64,
 	}
 
 	// Count active out-edges per bin (constant across iterations).
-	binOffsets := make([]int64, numBins+1)
-	countsPerBin := make([]atomic.Int64, numBins)
+	binOffsets := sb.getI64(numBins + 1)
+	laneBins := sb.getI64(lanes * numBins)
 	outRow, outCol, outTime := mw.OutRow, mw.OutCol, mw.OutTime
-	loop(n, func(lo, hi int) {
-		local := make([]int64, numBins)
+	loop(n, func(wk *sched.Worker, lo, hi int) {
+		local := laneBins[laneOf(wk)*numBins:][:numBins]
 		for u := lo; u < hi; u++ {
 			i, end := outRow[u], outRow[u+1]
 			for i < end {
@@ -64,106 +69,128 @@ func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64,
 				i = j
 			}
 		}
-		for b := 0; b < numBins; b++ {
-			if local[b] != 0 {
-				countsPerBin[b].Add(local[b])
-			}
-		}
 	})
 	total := int64(0)
 	for b := 0; b < numBins; b++ {
 		binOffsets[b] = total
-		total += countsPerBin[b].Load()
+		for l := 0; l < lanes; l++ {
+			total += laneBins[l*numBins+b]
+		}
 	}
 	binOffsets[numBins] = total
+	sb.putI64(laneBins)
 
-	binDst := make([]int32, total)
-	binVal := make([]float64, total)
-	cursors := make([]atomic.Int64, numBins)
+	binDst := sb.getI32(int(total))
+	binVal := sb.getF64(int(total))
+	cursors := sb.getAtomicI64(numBins)
 
-	y := make([]float64, n)
-	z := make([]float64, n)
+	y := sb.getF64(n)
+	z := sb.getF64(n)
+	laneDangling := sb.getF64(lanes)
+	laneDelta := sb.getF64(lanes)
+	invdeg, active := st.invdeg, st.active
+
+	var base float64
+	pass1 := func(wk *sched.Worker, lo, hi int) {
+		var d float64
+		for u := lo; u < hi; u++ {
+			z[u] = x[u] * invdeg[u]
+			if active[u] && invdeg[u] == 0 {
+				d += x[u]
+			}
+		}
+		laneDangling[laneOf(wk)] += d
+	}
+	// Phase 1: bin the contributions, streaming the out-CSR.
+	binPass := func(_ *sched.Worker, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			zu := z[u]
+			if zu == 0 {
+				continue
+			}
+			i, end := outRow[u], outRow[u+1]
+			for i < end {
+				j := i + 1
+				c := outCol[i]
+				for j < end && outCol[j] == c {
+					j++
+				}
+				if tcsr.RunActive(outTime[i:j], ts, te) {
+					slot := cursors[c>>binShift].Add(1) - 1
+					binDst[slot] = c
+					binVal[slot] = zu
+				}
+				i = j
+			}
+		}
+	}
+	// Phase 2: drain bins into y; bins own disjoint vertex stripes,
+	// so the pass is race-free when parallelized over bins.
+	drainPass := func(wk *sched.Worker, blo, bhi int) {
+		var delta float64
+		for b := blo; b < bhi; b++ {
+			vLo := b << binShift
+			vHi := vLo + (1 << binShift)
+			if vHi > n {
+				vHi = n
+			}
+			for v := vLo; v < vHi; v++ {
+				if active[v] {
+					y[v] = base
+				} else {
+					y[v] = 0
+				}
+			}
+			// Note: a vertex can appear only up to cursors[b];
+			// z contributions of zero sources were skipped in
+			// phase 1, which is correct since they add nothing.
+			end := cursors[b].Load()
+			for s := binOffsets[b]; s < end; s++ {
+				y[binDst[s]] += (1 - opt.Alpha) * binVal[s]
+			}
+			for v := vLo; v < vHi; v++ {
+				delta += math.Abs(y[v] - x[v])
+			}
+		}
+		laneDelta[laneOf(wk)] += delta
+	}
 
 	for it := 0; it < opt.MaxIter; it++ {
 		res.Iterations = it + 1
-		var danglingAcc atomicFloat64
-		loop(n, func(lo, hi int) {
-			var d float64
-			for u := lo; u < hi; u++ {
-				z[u] = x[u] * st.invdeg[u]
-				if st.active[u] && st.invdeg[u] == 0 {
-					d += x[u]
-				}
-			}
-			danglingAcc.Add(d)
-		})
-		base := opt.Alpha*invNA + (1-opt.Alpha)*danglingAcc.Load()*invNA
+		clear(laneDangling)
+		clear(laneDelta)
+		loop(n, pass1)
+		var dangling float64
+		for _, d := range laneDangling {
+			dangling += d
+		}
+		base = opt.Alpha*invNA + (1-opt.Alpha)*dangling*invNA
 
-		// Phase 1: bin the contributions, streaming the out-CSR.
 		for b := 0; b < numBins; b++ {
 			cursors[b].Store(binOffsets[b])
 		}
-		loop(n, func(lo, hi int) {
-			for u := lo; u < hi; u++ {
-				zu := z[u]
-				if zu == 0 {
-					continue
-				}
-				i, end := outRow[u], outRow[u+1]
-				for i < end {
-					j := i + 1
-					c := outCol[i]
-					for j < end && outCol[j] == c {
-						j++
-					}
-					if tcsr.RunActive(outTime[i:j], ts, te) {
-						slot := cursors[c>>binShift].Add(1) - 1
-						binDst[slot] = c
-						binVal[slot] = zu
-					}
-					i = j
-				}
-			}
-		})
-
-		// Phase 2: drain bins into y; bins own disjoint vertex stripes,
-		// so the pass is race-free when parallelized over bins.
-		var deltaAcc atomicFloat64
-		loop(numBins, func(blo, bhi int) {
-			var delta float64
-			for b := blo; b < bhi; b++ {
-				vLo := b << binShift
-				vHi := vLo + (1 << binShift)
-				if vHi > n {
-					vHi = n
-				}
-				for v := vLo; v < vHi; v++ {
-					if st.active[v] {
-						y[v] = base
-					} else {
-						y[v] = 0
-					}
-				}
-				// Note: a vertex can appear only up to cursors[b];
-				// z contributions of zero sources were skipped in
-				// phase 1, which is correct since they add nothing.
-				end := cursors[b].Load()
-				for s := binOffsets[b]; s < end; s++ {
-					y[binDst[s]] += (1 - opt.Alpha) * binVal[s]
-				}
-				for v := vLo; v < vHi; v++ {
-					delta += math.Abs(y[v] - x[v])
-				}
-			}
-			deltaAcc.Add(delta)
-		})
+		loop(n, binPass)
+		loop(numBins, drainPass)
 		x, y = y, x
-		res.FinalResidual = deltaAcc.Load()
-		if res.FinalResidual < opt.Tol {
+		var delta float64
+		for _, d := range laneDelta {
+			delta += d
+		}
+		res.FinalResidual = delta
+		if delta < opt.Tol {
 			res.Converged = true
 			break
 		}
 	}
+	sb.putF64(y)
+	sb.putF64(z)
+	sb.putF64(laneDangling)
+	sb.putF64(laneDelta)
+	sb.putF64(binVal)
+	sb.putI32(binDst)
+	sb.putI64(binOffsets)
+	sb.putAtomicI64(cursors)
+	releaseWindowState(sb, st)
 	res.ranks = x
 	return res
 }

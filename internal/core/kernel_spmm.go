@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 	"time"
 
+	"pmpr/internal/sched"
 	"pmpr/internal/tcsr"
 )
 
@@ -18,18 +18,27 @@ import (
 // so one sweep of the shared temporal CSR advances up to VectorLen
 // PageRank vectors, and every batch after the first warm-starts from
 // its region predecessor (which is the previous global window).
+//
+// All staging memory (region table, rank staging, batch descriptors)
+// comes from the worker's scratch buffer. Under Config.DiscardRanks a
+// batch's rank vectors are recycled as soon as the next batch has
+// consumed them for partial initialization — including the final
+// batch's vectors after the loop, which earlier versions leaked at K
+// vectors per multi-window graph.
 func (e *Engine) solveMW(mwIdx int, mw *tcsr.MultiWindow, wid int, loop forLoop, out []WindowResult, mwSweeps []int64) {
 	W := mw.NumWindows()
 	if W == 0 {
 		return
 	}
+	sb, release := e.arena.acquire(wid)
+	defer release()
 	K := e.cfg.VectorLen
 	if K > W {
 		K = W
 	}
 	base := W / K
 	rem := W % K
-	regionStart := make([]int, K+1)
+	regionStart := sb.getInt(K + 1)
 	for r := 0; r < K; r++ {
 		size := base
 		if r < rem {
@@ -44,11 +53,13 @@ func (e *Engine) solveMW(mwIdx int, mw *tcsr.MultiWindow, wid int, loop forLoop,
 
 	// ranksByOffset[o] is the rank vector of window mw.WinLo+o, kept
 	// until batch o+1 has consumed it for partial initialization.
-	ranksByOffset := make([][]float64, W)
+	ranksByOffset := sb.getVecs(W)
+	winsBuf := sb.getInt(K)
+	initsBuf := sb.getVecs(K)
 
 	for j := 0; j < numBatches; j++ {
-		var wins []int
-		var inits [][]float64
+		wins := winsBuf[:0]
+		inits := initsBuf[:0]
 		for r := 0; r < K; r++ {
 			off := regionStart[r] + j
 			if off >= regionStart[r+1] {
@@ -62,7 +73,7 @@ func (e *Engine) solveMW(mwIdx int, mw *tcsr.MultiWindow, wid int, loop forLoop,
 			}
 		}
 		t0 := time.Now()
-		batch := e.solveBatch(mw, wins, inits, loop)
+		batch := e.solveBatch(mw, wins, inits, sb, loop)
 		dur := time.Since(t0)
 		var sweeps int64
 		for s, w := range wins {
@@ -78,6 +89,7 @@ func (e *Engine) solveMW(mwIdx int, mw *tcsr.MultiWindow, wid int, loop forLoop,
 			}
 			out[w] = batch[s]
 		}
+		sb.putResults(batch)
 		// One SpMM sweep of the shared CSR advances every live window of
 		// the batch, so the batch's sweep count is its iteration maximum.
 		mwSweeps[mwIdx] += sweeps
@@ -89,35 +101,59 @@ func (e *Engine) solveMW(mwIdx int, mw *tcsr.MultiWindow, wid int, loop forLoop,
 				})
 		}
 		if e.cfg.DiscardRanks && j > 0 {
-			// Batch j-1's vectors have been consumed; free them.
+			// Batch j-1's vectors have been consumed; recycle them.
 			for r := 0; r < K; r++ {
 				if off := regionStart[r] + j - 1; off < regionStart[r+1] {
+					sb.putF64(ranksByOffset[off])
 					ranksByOffset[off] = nil
 				}
 			}
 		}
 	}
+	if e.cfg.DiscardRanks {
+		// The final batch's vectors have no consumer; recycle whatever
+		// is still staged so a multi-window graph does not hold K rank
+		// vectors past its solve.
+		for off := range ranksByOffset {
+			if ranksByOffset[off] != nil {
+				sb.putF64(ranksByOffset[off])
+				ranksByOffset[off] = nil
+			}
+		}
+	}
+	sb.putVecs(ranksByOffset)
+	sb.putVecs(initsBuf)
+	sb.putInt(winsBuf)
+	sb.putInt(regionStart)
 }
 
 // solveBatch advances the PageRank vectors of the given windows (all in
 // mw) simultaneously. Vectors are interleaved — entry (v, k) lives at
 // v*K+k — so the random accesses of the pull pass hit one cache line
 // for all K windows, which is the SpMM effect the paper exploits.
-func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64, loop forLoop) []WindowResult {
+//
+// Working memory is drawn from sb and returned before the function
+// exits; only the K per-window rank vectors and the returned result
+// slice stay checked out (the caller recycles both). Cross-leaf
+// reductions use lane-indexed K-wide slots — lane l owns
+// [l*K, (l+1)*K) — summed serially between passes, so the leaves of
+// the steady-state iteration loop neither allocate nor touch atomics.
+func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64, sb *scratchBuf, loop forLoop) []WindowResult {
 	n := int(mw.NumLocal())
 	K := len(wins)
 	opt := e.cfg.Opts
+	lanes := sb.lanes()
 
-	tsK := make([]int64, K)
-	teK := make([]int64, K)
+	tsK := sb.getI64(K)
+	teK := sb.getI64(K)
 	for k, w := range wins {
 		tsK[k], teK[k] = mw.Window(w)
 	}
 
 	// Per-window inverse out-degrees, interleaved. First accumulate
 	// counts, then invert in place.
-	invdeg := make([]float64, n*K)
-	loop(n, func(lo, hi int) {
+	invdeg := sb.getF64(n * K)
+	loop(n, func(_ *sched.Worker, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			start, end := mw.OutRow[u], mw.OutRow[u+1]
 			i := start
@@ -143,11 +179,11 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 		}
 	})
 
-	// Activity flags and |V_i| per window.
-	active := make([]bool, n*K)
-	naAcc := make([]atomic.Int32, K)
-	loop(n, func(lo, hi int) {
-		cnt := make([]int32, K)
+	// Activity flags and |V_i| per window; counts reduce via lanes.
+	active := sb.getBool(n * K)
+	laneCnt := sb.getI32(lanes * K)
+	loop(n, func(wk *sched.Worker, lo, hi int) {
+		cnt := laneCnt[laneOf(wk)*K:][:K]
 		for v := lo; v < hi; v++ {
 			pending := 0
 			for k := 0; k < K; k++ {
@@ -179,15 +215,15 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 				}
 			}
 		}
-		for k := 0; k < K; k++ {
-			naAcc[k].Add(cnt[k])
-		}
 	})
-	na := make([]int32, K)
-	results := make([]WindowResult, K)
-	live := make([]int, 0, K)
+	na := sb.getI32(K)
+	results := sb.getResults(K)
+	liveBuf := sb.getInt(K)
+	live := liveBuf[:0]
 	for k := 0; k < K; k++ {
-		na[k] = naAcc[k].Load()
+		for l := 0; l < lanes; l++ {
+			na[k] += laneCnt[l*K+k]
+		}
 		results[k] = WindowResult{Window: wins[k], ActiveVertices: na[k], mw: mw}
 		if na[k] > 0 {
 			live = append(live, k)
@@ -195,17 +231,19 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 			results[k].Converged = true
 		}
 	}
+	sb.putI32(laneCnt)
 
 	// Initialization: Eq. 4 per window slot where a predecessor vector
 	// is supplied, uniform otherwise.
-	x := make([]float64, n*K)
-	y := make([]float64, n*K)
-	z := make([]float64, n*K)
-	sharedN := make([]atomic.Int64, K)
-	var sharedSum []atomicFloat64 = make([]atomicFloat64, K)
-	loop(n, func(lo, hi int) {
-		cnt := make([]int64, K)
-		sum := make([]float64, K)
+	x := sb.getF64(n * K)
+	y := sb.getF64(n * K)
+	z := sb.getF64(n * K)
+	laneSharedN := sb.getI64(lanes * K)
+	laneSharedSum := sb.getF64(lanes * K)
+	loop(n, func(wk *sched.Worker, lo, hi int) {
+		lane := laneOf(wk)
+		cnt := laneSharedN[lane*K:][:K]
+		sum := laneSharedSum[lane*K:][:K]
 		for v := lo; v < hi; v++ {
 			for k := 0; k < K; k++ {
 				if p := inits[k]; p != nil && active[v*K+k] && p[v] > 0 {
@@ -214,26 +252,30 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 				}
 			}
 		}
-		for k := 0; k < K; k++ {
-			sharedN[k].Add(cnt[k])
-			sharedSum[k].Add(sum[k])
-		}
 	})
-	scale := make([]float64, K)
-	uniform := make([]float64, K)
-	partial := make([]bool, K)
+	scale := sb.getF64(K)
+	uniform := sb.getF64(K)
+	partial := sb.getBool(K)
 	for k := 0; k < K; k++ {
 		if na[k] == 0 {
 			continue
 		}
 		uniform[k] = 1 / float64(na[k])
-		if sh, sm := sharedN[k].Load(), sharedSum[k].Load(); inits[k] != nil && sh > 0 && sm > 0 {
+		var sh int64
+		var sm float64
+		for l := 0; l < lanes; l++ {
+			sh += laneSharedN[l*K+k]
+			sm += laneSharedSum[l*K+k]
+		}
+		if inits[k] != nil && sh > 0 && sm > 0 {
 			scale[k] = float64(sh) / float64(na[k]) / sm
 			partial[k] = true
 			results[k].UsedPartialInit = true
 		}
 	}
-	loop(n, func(lo, hi int) {
+	sb.putI64(laneSharedN)
+	sb.putF64(laneSharedSum)
+	loop(n, func(_ *sched.Worker, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			for k := 0; k < K; k++ {
 				switch {
@@ -248,92 +290,95 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 		}
 	})
 
-	dangling := make([]atomicFloat64, K)
-	deltas := make([]atomicFloat64, K)
-	baseK := make([]float64, K)
-	isLive := make([]bool, K)
+	laneDangling := sb.getF64(lanes * K)
+	laneDelta := sb.getF64(lanes * K)
+	laneAcc := sb.getF64(lanes * K)
+	baseK := sb.getF64(K)
+	isLive := sb.getBool(K)
+
+	// Pass 1 (by source): scaled contributions + dangling mass.
+	pass1 := func(wk *sched.Worker, lo, hi int) {
+		d := laneDangling[laneOf(wk)*K:][:K]
+		for u := lo; u < hi; u++ {
+			for _, k := range live {
+				z[u*K+k] = x[u*K+k] * invdeg[u*K+k]
+				if active[u*K+k] && invdeg[u*K+k] == 0 {
+					d[k] += x[u*K+k]
+				}
+			}
+		}
+	}
+	// Pass 2 (by target): one sweep of the shared CSR advances all
+	// live windows.
+	pass2 := func(wk *sched.Worker, lo, hi int) {
+		lane := laneOf(wk)
+		acc := laneAcc[lane*K:][:K]
+		dl := laneDelta[lane*K:][:K]
+		for v := lo; v < hi; v++ {
+			for _, k := range live {
+				acc[k] = 0
+			}
+			start, end := mw.InRow[v], mw.InRow[v+1]
+			i := start
+			for i < end {
+				j := i + 1
+				c := mw.InCol[i]
+				for j < end && mw.InCol[j] == c {
+					j++
+				}
+				times := mw.InTime[i:j]
+				for _, k := range live {
+					if tcsr.RunActive(times, tsK[k], teK[k]) {
+						acc[k] += z[int(c)*K+k]
+					}
+				}
+				i = j
+			}
+			for k := 0; k < K; k++ {
+				if !isLive[k] {
+					// Keep converged windows' entries current so the
+					// array swap does not resurrect stale iterates.
+					y[v*K+k] = x[v*K+k]
+					continue
+				}
+				if !active[v*K+k] {
+					y[v*K+k] = 0
+					continue
+				}
+				nv := baseK[k] + (1-opt.Alpha)*acc[k]
+				dl[k] += math.Abs(nv - x[v*K+k])
+				y[v*K+k] = nv
+			}
+		}
+	}
 
 	for it := 0; it < opt.MaxIter && len(live) > 0; it++ {
-		for k := range isLive {
-			isLive[k] = false
-		}
+		clear(isLive)
+		clear(laneDangling)
+		clear(laneDelta)
 		for _, k := range live {
 			isLive[k] = true
 			results[k].Iterations = it + 1
-			dangling[k].Store(0)
-			deltas[k].Store(0)
 		}
-
-		// Pass 1 (by source): scaled contributions + dangling mass.
-		loop(n, func(lo, hi int) {
-			d := make([]float64, K)
-			for u := lo; u < hi; u++ {
-				for _, k := range live {
-					z[u*K+k] = x[u*K+k] * invdeg[u*K+k]
-					if active[u*K+k] && invdeg[u*K+k] == 0 {
-						d[k] += x[u*K+k]
-					}
-				}
-			}
-			for _, k := range live {
-				dangling[k].Add(d[k])
-			}
-		})
+		loop(n, pass1)
 		for _, k := range live {
+			var d float64
+			for l := 0; l < lanes; l++ {
+				d += laneDangling[l*K+k]
+			}
 			invNA := 1 / float64(na[k])
-			baseK[k] = opt.Alpha*invNA + (1-opt.Alpha)*dangling[k].Load()*invNA
+			baseK[k] = opt.Alpha*invNA + (1-opt.Alpha)*d*invNA
 		}
-
-		// Pass 2 (by target): one sweep of the shared CSR advances all
-		// live windows.
-		loop(n, func(lo, hi int) {
-			acc := make([]float64, K)
-			dl := make([]float64, K)
-			for v := lo; v < hi; v++ {
-				for _, k := range live {
-					acc[k] = 0
-				}
-				start, end := mw.InRow[v], mw.InRow[v+1]
-				i := start
-				for i < end {
-					j := i + 1
-					c := mw.InCol[i]
-					for j < end && mw.InCol[j] == c {
-						j++
-					}
-					times := mw.InTime[i:j]
-					for _, k := range live {
-						if tcsr.RunActive(times, tsK[k], teK[k]) {
-							acc[k] += z[int(c)*K+k]
-						}
-					}
-					i = j
-				}
-				for k := 0; k < K; k++ {
-					if !isLive[k] {
-						// Keep converged windows' entries current so the
-						// array swap does not resurrect stale iterates.
-						y[v*K+k] = x[v*K+k]
-						continue
-					}
-					if !active[v*K+k] {
-						y[v*K+k] = 0
-						continue
-					}
-					nv := baseK[k] + (1-opt.Alpha)*acc[k]
-					dl[k] += math.Abs(nv - x[v*K+k])
-					y[v*K+k] = nv
-				}
-			}
-			for _, k := range live {
-				deltas[k].Add(dl[k])
-			}
-		})
+		loop(n, pass2)
 		x, y = y, x
 		next := live[:0]
 		for _, k := range live {
-			results[k].FinalResidual = deltas[k].Load()
-			if results[k].FinalResidual < opt.Tol {
+			var delta float64
+			for l := 0; l < lanes; l++ {
+				delta += laneDelta[l*K+k]
+			}
+			results[k].FinalResidual = delta
+			if delta < opt.Tol {
 				results[k].Converged = true
 			} else {
 				next = append(next, k)
@@ -343,11 +388,28 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 	}
 
 	for k := 0; k < K; k++ {
-		ranks := make([]float64, n)
+		ranks := sb.getF64(n)
 		for v := 0; v < n; v++ {
 			ranks[v] = x[v*K+k]
 		}
 		results[k].ranks = ranks
 	}
+	sb.putF64(x)
+	sb.putF64(y)
+	sb.putF64(z)
+	sb.putF64(invdeg)
+	sb.putBool(active)
+	sb.putI64(tsK)
+	sb.putI64(teK)
+	sb.putI32(na)
+	sb.putInt(liveBuf)
+	sb.putF64(scale)
+	sb.putF64(uniform)
+	sb.putBool(partial)
+	sb.putF64(laneDangling)
+	sb.putF64(laneDelta)
+	sb.putF64(laneAcc)
+	sb.putF64(baseK)
+	sb.putBool(isLive)
 	return results
 }

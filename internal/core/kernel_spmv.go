@@ -2,32 +2,35 @@ package core
 
 import (
 	"math"
-	"sync/atomic"
 
+	"pmpr/internal/sched"
 	"pmpr/internal/tcsr"
 )
 
 // windowState holds the per-window quantities a PageRank iteration
 // needs: inverse out-degrees (0 for dangling or absent vertices),
-// activity flags, and |V_i|.
+// activity flags, and |V_i|. The slices are scratch-arena buffers;
+// release them with releaseWindowState when the solve is done.
 type windowState struct {
 	invdeg []float64
 	active []bool
 	na     int32
 }
 
-// computeWindowState fills the state for global window w of mw. The
-// degree pass runs over the out-CSR partitioned by source vertex; the
-// activity pass runs over the in-CSR partitioned by target vertex, so
-// both are race-free under loop.
-func computeWindowState(mw *tcsr.MultiWindow, w int, directed bool, loop forLoop) windowState {
+// computeWindowState fills the state for global window w of mw with
+// buffers drawn from sb. The degree pass runs over the out-CSR
+// partitioned by source vertex; the activity pass runs over the in-CSR
+// partitioned by target vertex, so both are race-free under loop.
+// Cross-leaf counting reduces through per-lane slots instead of an
+// atomic, keeping the leaves allocation- and contention-free.
+func computeWindowState(mw *tcsr.MultiWindow, w int, directed bool, loop forLoop, sb *scratchBuf) windowState {
 	n := int(mw.NumLocal())
 	ts, te := mw.Window(w)
 	st := windowState{
-		invdeg: make([]float64, n),
-		active: make([]bool, n),
+		invdeg: sb.getF64(n),
+		active: sb.getBool(n),
 	}
-	loop(n, func(lo, hi int) {
+	loop(n, func(_ *sched.Worker, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			start, end := mw.OutRow[u], mw.OutRow[u+1]
 			deg := 0
@@ -47,8 +50,8 @@ func computeWindowState(mw *tcsr.MultiWindow, w int, directed bool, loop forLoop
 			}
 		}
 	})
-	var na atomic.Int32
-	loop(n, func(lo, hi int) {
+	laneNA := sb.getI32(sb.lanes())
+	loop(n, func(wk *sched.Worker, lo, hi int) {
 		var cnt int32
 		for v := lo; v < hi; v++ {
 			act := st.invdeg[v] > 0
@@ -71,10 +74,19 @@ func computeWindowState(mw *tcsr.MultiWindow, w int, directed bool, loop forLoop
 				cnt++
 			}
 		}
-		na.Add(cnt)
+		laneNA[laneOf(wk)] += cnt
 	})
-	st.na = na.Load()
+	for _, c := range laneNA {
+		st.na += c
+	}
+	sb.putI32(laneNA)
 	return st
+}
+
+// releaseWindowState returns the state's buffers to the arena.
+func releaseWindowState(sb *scratchBuf, st windowState) {
+	sb.putF64(st.invdeg)
+	sb.putBool(st.active)
 }
 
 // initVector fills x with the starting PageRank values: the partial
@@ -82,7 +94,7 @@ func computeWindowState(mw *tcsr.MultiWindow, w int, directed bool, loop forLoop
 // 1/|V_i| over active vertices. It reports whether partial
 // initialization was actually used (it falls back to uniform when the
 // windows share no active vertices).
-func initVector(x, prev []float64, st windowState, loop forLoop) bool {
+func initVector(x, prev []float64, st windowState, loop forLoop, sb *scratchBuf) bool {
 	n := len(x)
 	if st.na == 0 {
 		for v := range x {
@@ -91,24 +103,26 @@ func initVector(x, prev []float64, st windowState, loop forLoop) bool {
 		return false
 	}
 	uniform := 1 / float64(st.na)
-	if prev == nil {
-		loop(n, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				if st.active[v] {
-					x[v] = uniform
-				} else {
-					x[v] = 0
-				}
+	fillUniform := func(_ *sched.Worker, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if st.active[v] {
+				x[v] = uniform
+			} else {
+				x[v] = 0
 			}
-		})
+		}
+	}
+	if prev == nil {
+		loop(n, fillUniform)
 		return false
 	}
 	// Eq. 4: shared vertices are scaled by |Vi ∩ Vi-1| / |Vi| and
 	// renormalized by their previous mass; vertices new to the window
 	// start at the uniform value, so the vector still sums to 1.
-	var sharedN atomic.Int64
-	var sharedSum atomicFloat64
-	loop(n, func(lo, hi int) {
+	lanes := sb.lanes()
+	laneCnt := sb.getI64(lanes)
+	laneSum := sb.getF64(lanes)
+	loop(n, func(wk *sched.Worker, lo, hi int) {
 		var cnt int64
 		var sum float64
 		for v := lo; v < hi; v++ {
@@ -117,24 +131,24 @@ func initVector(x, prev []float64, st windowState, loop forLoop) bool {
 				sum += prev[v]
 			}
 		}
-		sharedN.Add(cnt)
-		sharedSum.Add(sum)
+		lane := laneOf(wk)
+		laneCnt[lane] += cnt
+		laneSum[lane] += sum
 	})
-	shared, sum := sharedN.Load(), sharedSum.Load()
+	var shared int64
+	var sum float64
+	for l := 0; l < lanes; l++ {
+		shared += laneCnt[l]
+		sum += laneSum[l]
+	}
+	sb.putI64(laneCnt)
+	sb.putF64(laneSum)
 	if shared == 0 || sum <= 0 {
-		loop(n, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				if st.active[v] {
-					x[v] = uniform
-				} else {
-					x[v] = 0
-				}
-			}
-		})
+		loop(n, fillUniform)
 		return false
 	}
 	scale := float64(shared) / float64(st.na) / sum
-	loop(n, func(lo, hi int) {
+	loop(n, func(_ *sched.Worker, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			switch {
 			case !st.active[v]:
@@ -152,77 +166,103 @@ func initVector(x, prev []float64, st windowState, loop forLoop) bool {
 // solveWindow runs the SpMV-style PageRank on global window w of mw.
 // prev, when non-nil, is the predecessor window's rank vector in the
 // same multi-window local id space and enables partial initialization.
-func (e *Engine) solveWindow(mw *tcsr.MultiWindow, w int, prev []float64, loop forLoop) WindowResult {
+// All working memory comes from sb; only the returned rank vector
+// stays checked out (the caller recycles it once consumed, see
+// spmvRange). The iteration loop allocates nothing: both loop bodies
+// are bound once before it and cross-leaf sums reduce via lanes.
+func (e *Engine) solveWindow(mw *tcsr.MultiWindow, w int, prev []float64, sb *scratchBuf, loop forLoop) WindowResult {
 	n := int(mw.NumLocal())
-	st := computeWindowState(mw, w, e.cfg.Directed, loop)
+	st := computeWindowState(mw, w, e.cfg.Directed, loop, sb)
 	res := WindowResult{Window: w, ActiveVertices: st.na, mw: mw}
-	x := make([]float64, n)
+	x := sb.getF64(n)
 	if st.na == 0 {
+		releaseWindowState(sb, st)
 		res.Converged = true
 		res.ranks = x
 		return res
 	}
-	res.UsedPartialInit = initVector(x, prev, st, loop)
+	res.UsedPartialInit = initVector(x, prev, st, loop, sb)
 
-	y := make([]float64, n)
-	z := make([]float64, n)
+	y := sb.getF64(n)
+	z := sb.getF64(n)
+	lanes := sb.lanes()
+	laneDangling := sb.getF64(lanes)
+	laneDelta := sb.getF64(lanes)
 	ts, te := mw.Window(w)
 	opt := e.cfg.Opts
 	invNA := 1 / float64(st.na)
+	invdeg, active := st.invdeg, st.active
+	inRow, inCol, inTime := mw.InRow, mw.InCol, mw.InTime
+
+	// Pass 1 (by source): scale ranks by inverse out-degree and collect
+	// dangling mass. The closures capture x and y as variables, so the
+	// swap at the end of each iteration retargets them for free.
+	var base float64
+	pass1 := func(wk *sched.Worker, lo, hi int) {
+		var d float64
+		for u := lo; u < hi; u++ {
+			z[u] = x[u] * invdeg[u]
+			if active[u] && invdeg[u] == 0 {
+				d += x[u]
+			}
+		}
+		laneDangling[laneOf(wk)] += d
+	}
+	// Pass 2 (by target): pull contributions along active runs.
+	pass2 := func(wk *sched.Worker, lo, hi int) {
+		var delta float64
+		for v := lo; v < hi; v++ {
+			if !active[v] {
+				y[v] = 0
+				continue
+			}
+			var acc float64
+			i, end := inRow[v], inRow[v+1]
+			for i < end {
+				j := i + 1
+				c := inCol[i]
+				for j < end && inCol[j] == c {
+					j++
+				}
+				if tcsr.RunActive(inTime[i:j], ts, te) {
+					acc += z[c]
+				}
+				i = j
+			}
+			nv := base + (1-opt.Alpha)*acc
+			delta += math.Abs(nv - x[v])
+			y[v] = nv
+		}
+		laneDelta[laneOf(wk)] += delta
+	}
 
 	for it := 0; it < opt.MaxIter; it++ {
 		res.Iterations = it + 1
-		// Pass 1 (by source): scale ranks by inverse out-degree and
-		// collect dangling mass.
-		var danglingAcc atomicFloat64
-		loop(n, func(lo, hi int) {
-			var d float64
-			for u := lo; u < hi; u++ {
-				z[u] = x[u] * st.invdeg[u]
-				if st.active[u] && st.invdeg[u] == 0 {
-					d += x[u]
-				}
-			}
-			danglingAcc.Add(d)
-		})
-		base := opt.Alpha*invNA + (1-opt.Alpha)*danglingAcc.Load()*invNA
-
-		// Pass 2 (by target): pull contributions along active runs.
-		var deltaAcc atomicFloat64
-		inRow, inCol, inTime := mw.InRow, mw.InCol, mw.InTime
-		loop(n, func(lo, hi int) {
-			var delta float64
-			for v := lo; v < hi; v++ {
-				if !st.active[v] {
-					y[v] = 0
-					continue
-				}
-				var acc float64
-				i, end := inRow[v], inRow[v+1]
-				for i < end {
-					j := i + 1
-					c := inCol[i]
-					for j < end && inCol[j] == c {
-						j++
-					}
-					if tcsr.RunActive(inTime[i:j], ts, te) {
-						acc += z[c]
-					}
-					i = j
-				}
-				nv := base + (1-opt.Alpha)*acc
-				delta += math.Abs(nv - x[v])
-				y[v] = nv
-			}
-			deltaAcc.Add(delta)
-		})
+		clear(laneDangling)
+		clear(laneDelta)
+		loop(n, pass1)
+		var dangling float64
+		for _, d := range laneDangling {
+			dangling += d
+		}
+		base = opt.Alpha*invNA + (1-opt.Alpha)*dangling*invNA
+		loop(n, pass2)
 		x, y = y, x
-		res.FinalResidual = deltaAcc.Load()
-		if res.FinalResidual < opt.Tol {
+		var delta float64
+		for _, d := range laneDelta {
+			delta += d
+		}
+		res.FinalResidual = delta
+		if delta < opt.Tol {
 			res.Converged = true
 			break
 		}
 	}
+	sb.putF64(y)
+	sb.putF64(z)
+	sb.putF64(laneDangling)
+	sb.putF64(laneDelta)
+	releaseWindowState(sb, st)
 	res.ranks = x
 	return res
 }

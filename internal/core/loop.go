@@ -1,51 +1,27 @@
 package core
 
 import (
-	"math"
-	"sync/atomic"
-
 	"pmpr/internal/sched"
 )
 
 // forLoop abstracts "run body over [0, n)" so each kernel is written
-// once and executed serially (window-level mode), on the pool
-// (app-level mode), or on the calling worker (nested mode).
-type forLoop func(n int, body func(lo, hi int))
+// once and executed serially (window-level mode), or forked on the pool
+// from the calling worker (app-level and nested modes). The body is a
+// sched.Body so loop implementations hand it to the scheduler without
+// wrapping it in a fresh closure — kernels bind their bodies once per
+// solve and the steady-state iteration loop stays allocation-free. A
+// serial loop invokes the body with a nil worker; bodies that reduce
+// across leaves index their lane with laneOf.
+type forLoop func(n int, body sched.Body)
 
-func serialLoop(n int, body func(lo, hi int)) {
+func serialLoop(n int, body sched.Body) {
 	if n > 0 {
-		body(0, n)
-	}
-}
-
-func poolLoop(p *sched.Pool, grain int, part sched.Partitioner) forLoop {
-	return func(n int, body func(lo, hi int)) {
-		p.ParallelFor(n, grain, part, func(_ *sched.Worker, lo, hi int) { body(lo, hi) })
+		body(nil, 0, n)
 	}
 }
 
 func workerLoop(w *sched.Worker, grain int, part sched.Partitioner) forLoop {
-	return func(n int, body func(lo, hi int)) {
-		w.ParallelFor(n, grain, part, func(_ *sched.Worker, lo, hi int) { body(lo, hi) })
+	return func(n int, body sched.Body) {
+		w.ParallelFor(n, grain, part, body)
 	}
 }
-
-// atomicFloat64 is an accumulator safe for concurrent leaf reductions.
-type atomicFloat64 struct{ bits atomic.Uint64 }
-
-func (a *atomicFloat64) Add(delta float64) {
-	if delta == 0 {
-		return
-	}
-	for {
-		old := a.bits.Load()
-		nw := math.Float64bits(math.Float64frombits(old) + delta)
-		if a.bits.CompareAndSwap(old, nw) {
-			return
-		}
-	}
-}
-
-func (a *atomicFloat64) Load() float64 { return math.Float64frombits(a.bits.Load()) }
-
-func (a *atomicFloat64) Store(v float64) { a.bits.Store(math.Float64bits(v)) }

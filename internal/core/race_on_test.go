@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled mirrors the race build tag so allocation-count tests can
+// skip themselves: the race runtime allocates shadow state on its own
+// schedule and makes testing.AllocsPerRun meaningless.
+const raceEnabled = true

@@ -47,6 +47,17 @@ type SchedReport struct {
 	LoadImbalance float64             `json:"load_imbalance"`
 }
 
+// ScratchReport is the scratch arena's share of a run: how many buffer
+// requests the kernels made and how many were served from the free
+// lists. A warmed-up engine under Config.DiscardRanks reports
+// Misses == 0 and HitRate == 1.
+type ScratchReport struct {
+	Gets    int64   `json:"gets"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
 // RunReport aggregates the observability of one Engine.Run: phase
 // timers, warm-start behavior, per-multi-window sweep counts, final
 // residuals, per-window wall time and worker attribution, and (when
@@ -80,6 +91,9 @@ type RunReport struct {
 	// Sched holds the pool counter delta for this run; nil unless
 	// Pool.EnableMetrics was on.
 	Sched *SchedReport `json:"sched,omitempty"`
+
+	// Scratch holds the arena counter delta for this run.
+	Scratch *ScratchReport `json:"scratch,omitempty"`
 
 	WallSeconds float64 `json:"wall_seconds"`
 }
@@ -136,7 +150,7 @@ func (r *RunReport) WriteJSONFile(path string) error {
 
 // buildReport assembles the run report from the per-window results and
 // the counters collected during Run.
-func (e *Engine) buildReport(results []WindowResult, mwSweeps []int64, wall float64, before sched.Stats) *RunReport {
+func (e *Engine) buildReport(results []WindowResult, mwSweeps []int64, wall float64, before sched.Stats, scratchBefore ScratchStats) *RunReport {
 	rep := &RunReport{
 		Build:       obs.CollectBuildInfo(),
 		Config:      e.cfg.Info(),
@@ -209,5 +223,11 @@ func (e *Engine) buildReport(results []WindowResult, mwSweeps []int64, wall floa
 			LoadImbalance: d.Imbalance(),
 		}
 	}
+	sd := e.arena.stats().Delta(scratchBefore)
+	sr := &ScratchReport{Gets: sd.Gets, Hits: sd.Hits, Misses: sd.Misses}
+	if sd.Gets > 0 {
+		sr.HitRate = float64(sd.Hits) / float64(sd.Gets)
+	}
+	rep.Scratch = sr
 	return rep
 }

@@ -14,14 +14,17 @@ import (
 // times per solve; a stray fmt call, an append that grows a slice, a
 // map literal, or a string concatenation turns an O(edges) sweep into
 // an allocation storm that the benchmarks then misattribute to the
-// algorithm. The rule applies only to the designated hot files
+// algorithm. In internal/core, where every kernel buffer comes from the
+// scratch arena, any make() inside a loop body is flagged — the
+// steady-state iterations are contractually allocation-free there.
+// The rule applies only to the designated hot files
 // (internal/core/kernel_*.go + loop.go, internal/sched/sched.go,
 // internal/streaming/runner.go).
 type hotpathRule struct{}
 
 func (hotpathRule) Name() string { return "hotpath" }
 func (hotpathRule) Doc() string {
-	return "no fmt/log, append, map allocation, or string concat inside hot kernel loop bodies"
+	return "no fmt/log, append, make, map allocation, or string concat inside hot kernel loop bodies"
 }
 
 // hotFile reports whether the rule covers this file.
@@ -60,13 +63,26 @@ func (r hotpathRule) Check(pkg *Package) []Finding {
 		if !hotFile(pkg.Path, base) {
 			continue
 		}
+		// The kernels bind their loop bodies to locals once per solve
+		// (`pass1 := func(...)`) and pass the identifier, so resolve
+		// idents at loop call sites back to their function literals.
+		bound := boundFuncLits(pkg, file)
+		checked := map[*ast.FuncLit]bool{}
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok || !hotLoopCall(call) {
 				return true
 			}
 			for _, arg := range call.Args {
-				if body, ok := arg.(*ast.FuncLit); ok {
+				var body *ast.FuncLit
+				switch arg := arg.(type) {
+				case *ast.FuncLit:
+					body = arg
+				case *ast.Ident:
+					body = bound[pkg.Info.Uses[arg]]
+				}
+				if body != nil && !checked[body] {
+					checked[body] = true
 					r.checkBody(pkg, body.Body, &out)
 				}
 			}
@@ -74,6 +90,38 @@ func (r hotpathRule) Check(pkg *Package) []Finding {
 		})
 	}
 	return out
+}
+
+// boundFuncLits maps local objects to the function literals assigned to
+// them (`body := func(...) {...}`), so a loop body passed by name is
+// checked like an inline one. Reassigned names keep the last literal.
+func boundFuncLits(pkg *Package, file *ast.File) map[types.Object]*ast.FuncLit {
+	bound := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pkg.Info.Uses[id]
+			}
+			if obj != nil {
+				bound[obj] = lit
+			}
+		}
+		return true
+	})
+	return bound
 }
 
 func (r hotpathRule) checkBody(pkg *Package, body ast.Node, out *[]Finding) {
@@ -121,8 +169,17 @@ func (r hotpathRule) checkCall(pkg *Package, call *ast.CallExpr, out *[]Finding)
 			pkg.findingf(out, call, r.Name(), "map allocation inside a hot kernel loop")
 		}
 	}
-	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltin(pkg, id) && callMakesMap(pkg, call) {
-		pkg.findingf(out, call, r.Name(), "map allocation inside a hot kernel loop")
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltin(pkg, id) {
+		switch {
+		case callMakesMap(pkg, call):
+			pkg.findingf(out, call, r.Name(), "map allocation inside a hot kernel loop")
+		case strings.HasSuffix(pkg.Path, "internal/core"):
+			// The core kernels have a scratch arena precisely so their
+			// loop bodies never allocate; any make() here regresses the
+			// allocation-free steady state.
+			pkg.findingf(out, call, r.Name(),
+				"make() inside a hot kernel loop (draw the buffer from the per-worker scratch arena)")
+		}
 	}
 }
 

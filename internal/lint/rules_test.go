@@ -107,6 +107,92 @@ func kernel(xs []int) int {
 	}
 }
 
+func TestHotpathRuleMakeInCoreLoop(t *testing.T) {
+	// Any make() inside a core kernel loop body is flagged, slices
+	// included: the scratch arena exists so these bodies never allocate.
+	bad := `package core
+
+func loop(n int, body func(lo, hi int)) { body(0, n) }
+
+func kernel(xs []float64) {
+	loop(len(xs), func(lo, hi int) {
+		acc := make([]float64, 4)
+		_ = acc
+	})
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/core", "kernel_fixture.go", bad)
+	fs := runRule(t, "hotpath", pkg)
+	if len(fs) != 1 {
+		t.Fatalf("slice make in core loop: want 1 finding, got %d: %v", len(fs), fs)
+	}
+	if !strings.Contains(fs[0].Msg, "scratch arena") {
+		t.Errorf("finding %q should point at the scratch arena", fs[0].Msg)
+	}
+
+	// Loop bodies bound to locals and passed by name are resolved and
+	// checked too — but only once, even when passed at several sites.
+	named := `package core
+
+func loop(n int, body func(lo, hi int)) { body(0, n) }
+
+func kernel(xs []float64) {
+	pass := func(lo, hi int) {
+		buf := make([]float64, 2)
+		_ = buf
+	}
+	loop(len(xs), pass)
+	loop(len(xs), pass)
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "kernel_named.go", named)
+	if fs := runRule(t, "hotpath", pkg); len(fs) != 1 {
+		t.Errorf("named body: want 1 finding (deduped), got %d: %v", len(fs), fs)
+	}
+
+	// make() outside the loop body, with only reads inside, is the
+	// pattern the arena enables; it stays silent.
+	good := `package core
+
+func loop(n int, body func(lo, hi int)) { body(0, n) }
+
+func kernel(xs []float64) float64 {
+	acc := make([]float64, 4)
+	pass := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc[i%4] += xs[i]
+		}
+	}
+	loop(len(xs), pass)
+	return acc[0]
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "kernel_good.go", good)
+	if fs := runRule(t, "hotpath", pkg); len(fs) != 0 {
+		t.Errorf("hoisted make: want 0 findings, got %v", fs)
+	}
+
+	// Outside internal/core (here: the scheduler itself), slice make in
+	// a loop body is not the arena's business.
+	sched := `package sched
+
+type pool struct{}
+
+func (pool) ParallelFor(n, grain int, body func(lo, hi int)) { body(0, n) }
+
+func drive(p pool, xs []int) {
+	p.ParallelFor(len(xs), 1, func(lo, hi int) {
+		tmp := make([]int, 2)
+		_ = tmp
+	})
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/sched", "sched.go", sched)
+	if fs := runRule(t, "hotpath", pkg); len(fs) != 0 {
+		t.Errorf("non-core slice make: want 0 findings, got %v", fs)
+	}
+}
+
 func TestHotpathRuleParallelFor(t *testing.T) {
 	src := `package sched
 

@@ -69,12 +69,26 @@ type job struct {
 	part    Partitioner
 	initial int // auto: ranges longer than this always split
 	pending atomic.Int64
-	done    chan struct{}
+	// doneFlag is the completion signal polled by nested submitters
+	// (helpUntil); done is non-nil only for external submissions, which
+	// block on the channel instead of spinning. Keeping nested loops
+	// channel-free lets job objects be pooled, so a steady state of
+	// nested ParallelFor calls (the kernels' inner vertex loops) does
+	// not allocate.
+	doneFlag atomic.Bool
+	done     chan struct{}
 }
 
 func (j *job) finish(leaves int64) {
 	if j.pending.Add(-leaves) == 0 {
-		close(j.done)
+		// Read the channel before publishing completion: the waiter may
+		// recycle the job the instant doneFlag is set, so this is the
+		// last access to j's fields.
+		done := j.done
+		j.doneFlag.Store(true)
+		if done != nil {
+			close(done)
+		}
 	}
 }
 
@@ -124,6 +138,12 @@ func (d *deque) stealTop() (span, bool) {
 // Pool is a fixed set of workers processing fork-join range tasks.
 type Pool struct {
 	workers []*Worker
+
+	// jobPool recycles job descriptors: a job is returned once its
+	// submitter has observed completion, at which point no span, deque,
+	// or worker references it (pending counts every pushed span, so
+	// pending reaching zero means every span was popped and finished).
+	jobPool sync.Pool
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -329,35 +349,42 @@ func (w *Worker) process(s span) {
 // blocking point for nested ParallelFor calls: the worker keeps the pool
 // busy (possibly with spans of other jobs) instead of sleeping.
 func (w *Worker) helpUntil(j *job) {
-	for {
-		select {
-		case <-j.done:
-			return
-		default:
-		}
+	for !j.doneFlag.Load() {
 		if s, ok := w.findWork(); ok {
 			w.process(s)
-		} else {
-			select {
-			case <-j.done:
-				return
-			default:
-				runtime.Gosched()
-			}
+		} else if !j.doneFlag.Load() {
+			runtime.Gosched()
 		}
 	}
 }
 
-func newJob(n, grain, workers int, part Partitioner, body Body) *job {
+// newJob prepares a (possibly recycled) job descriptor. The returned
+// job has no completion channel; external submitters attach one before
+// seeding.
+func (p *Pool) newJob(n, grain int, part Partitioner, body Body) *job {
 	if grain < 1 {
 		grain = 1
 	}
-	initial := n / (4 * workers)
+	initial := n / (4 * len(p.workers))
 	if initial < grain {
 		initial = grain
 	}
-	j := &job{body: body, grain: grain, part: part, initial: initial, done: make(chan struct{})}
+	j, _ := p.jobPool.Get().(*job)
+	if j == nil {
+		j = &job{}
+	}
+	j.body, j.grain, j.part, j.initial = body, grain, part, initial
+	j.doneFlag.Store(false)
+	j.done = nil
 	return j
+}
+
+// recycleJob returns a completed job to the pool. Only the submitter
+// may call it, after <-j.done or helpUntil has returned.
+func (p *Pool) recycleJob(j *job) {
+	j.body = nil
+	j.done = nil
+	p.jobPool.Put(j)
 }
 
 // seed distributes the root spans of a job. For Static the range is cut
@@ -371,16 +398,21 @@ func (p *Pool) seed(j *job, n int, home *Worker) {
 		if per < j.grain {
 			per = j.grain
 		}
-		count := int64(0)
+		// Publish the full span count on pending BEFORE pushing any
+		// span (mirroring the non-static path's increment-then-push
+		// order): a worker that pops and finishes an early span while
+		// later spans are still unpushed must never observe a transient
+		// count that lets its finish reach zero and close the job with
+		// leaves still pending.
+		count := int64((n + per - 1) / per)
+		j.pending.Add(count)
 		for lo, i := 0, 0; lo < n; lo, i = lo+per, i+1 {
 			hi := lo + per
 			if hi > n {
 				hi = n
 			}
-			count++
 			p.workers[i%len(p.workers)].dq.pushBottom(span{lo: lo, hi: hi, job: j})
 		}
-		j.pending.Add(count)
 		// Broadcast under the lock: a worker between its last failed
 		// work search and cond.Wait holds p.mu, so acquiring it here
 		// guarantees the worker either saw the pushed spans or is
@@ -406,9 +438,11 @@ func (p *Pool) ParallelFor(n, grain int, part Partitioner, body Body) {
 	if n <= 0 {
 		return
 	}
-	j := newJob(n, grain, len(p.workers), part, body)
+	j := p.newJob(n, grain, part, body)
+	j.done = make(chan struct{})
 	p.seed(j, n, nil)
 	<-j.done
+	p.recycleJob(j)
 }
 
 // ParallelFor runs a nested loop from inside a Body. The calling worker
@@ -418,9 +452,10 @@ func (w *Worker) ParallelFor(n, grain int, part Partitioner, body Body) {
 	if n <= 0 {
 		return
 	}
-	j := newJob(n, grain, len(w.pool.workers), part, body)
+	j := w.pool.newJob(n, grain, part, body)
 	w.pool.seed(j, n, w)
 	w.helpUntil(j)
+	w.pool.recycleJob(j)
 }
 
 // Run executes fn on some pool worker and waits for it; it is a

@@ -378,3 +378,82 @@ func TestAutoCoarsensWithLargeGrain(t *testing.T) {
 		}
 	})
 }
+
+func TestStaticSeedConcurrentStress(t *testing.T) {
+	// Regression for the static seeding race: spans used to be pushed
+	// before the span count was added to pending, so a worker that
+	// popped and finished an early span could drive pending negative
+	// and the later bulk increment could return 0 without closing the
+	// job — a ParallelFor that hangs or returns with leaves unexecuted.
+	// Many small static loops submitted from several goroutines at once
+	// maximize the window; run under -race in CI.
+	withPool(t, 4, func(p *Pool) {
+		const submitters = 8
+		const rounds = 400
+		var wg sync.WaitGroup
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					n := 1 + (g+i)%9
+					var covered int64
+					p.ParallelFor(n, 1, Static, func(_ *Worker, lo, hi int) {
+						atomic.AddInt64(&covered, int64(hi-lo))
+					})
+					if got := atomic.LoadInt64(&covered); got != int64(n) {
+						t.Errorf("goroutine %d round %d: covered %d of %d", g, i, got, n)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}
+
+func TestStaticSeedNestedStress(t *testing.T) {
+	// The same race, exercised through the nested path: workers inside a
+	// body fork small static loops while helping, so early finishes race
+	// the seeding worker's remaining pushes.
+	withPool(t, 4, func(p *Pool) {
+		for i := 0; i < 200; i++ {
+			var covered int64
+			p.ParallelFor(8, 1, Auto, func(w *Worker, lo, hi int) {
+				for j := lo; j < hi; j++ {
+					w.ParallelFor(5, 1, Static, func(_ *Worker, slo, shi int) {
+						atomic.AddInt64(&covered, int64(shi-slo))
+					})
+				}
+			})
+			if got := atomic.LoadInt64(&covered); got != 8*5 {
+				t.Fatalf("round %d: covered %d of %d", i, got, 8*5)
+			}
+		}
+	})
+}
+
+func TestNestedParallelForDoesNotAllocate(t *testing.T) {
+	// Nested loops run on pooled job descriptors with a flag-based
+	// completion signal; after warm-up the steady state must not
+	// allocate at all on the submitting worker.
+	withPool(t, 2, func(p *Pool) {
+		var sink int64
+		p.Run(func(w *Worker) {
+			inner := func(_ *Worker, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt64(&sink, 1)
+				}
+			}
+			for i := 0; i < 10; i++ { // warm the job pool and deques
+				w.ParallelFor(64, 8, Auto, inner)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				w.ParallelFor(64, 8, Auto, inner)
+			})
+			if allocs != 0 {
+				t.Errorf("nested ParallelFor allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	})
+}
