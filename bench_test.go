@@ -10,6 +10,8 @@ package pmpr
 // harness.
 
 import (
+	"context"
+
 	"fmt"
 	"sync"
 	"testing"
@@ -80,7 +82,7 @@ func spec(b *testing.B, l *events.Log, deltaDays float64, slideSec int64, maxWin
 	return s
 }
 
-func postmortemCfg(kernel core.Kernel, mode core.ParallelMode, part sched.Partitioner, grain, mw int) core.Config {
+func postmortemCfg(kernel core.KernelID, mode core.ParallelMode, part sched.Partitioner, grain, mw int) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Kernel = kernel
 	cfg.Mode = mode
@@ -101,7 +103,7 @@ func runPostmortem(b *testing.B, l *events.Log, sp events.WindowSpec, cfg core.C
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(); err != nil {
+		if _, err := eng.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -214,7 +216,7 @@ func BenchmarkFig7Partitioners(b *testing.B) {
 	sp := spec(b, l, 90, 43200, 96)
 	for _, part := range []sched.Partitioner{sched.Auto, sched.Simple, sched.Static} {
 		for _, mode := range []core.ParallelMode{core.Nested, core.AppLevel, core.WindowLevel} {
-			for _, kernel := range []core.Kernel{core.SpMM, core.SpMV} {
+			for _, kernel := range []core.KernelID{core.SpMM, core.SpMV} {
 				label := fmt.Sprintf("%v/%v/%v", part, mode, kernel)
 				b.Run(label, func(b *testing.B) {
 					runPostmortem(b, l, sp, postmortemCfg(kernel, mode, part, 2, 12), pool)
@@ -468,7 +470,7 @@ func BenchmarkAblationPropagationBlocking(b *testing.B) {
 	defer pool.Close()
 	l := dataset(b, "wikitalk")
 	sp := spec(b, l, 90, 43200, 96)
-	for _, kernel := range []core.Kernel{core.SpMV, core.SpMVBlocked} {
+	for _, kernel := range []core.KernelID{core.SpMV, core.SpMVBlocked} {
 		b.Run(kernel.String(), func(b *testing.B) {
 			runPostmortem(b, l, sp, postmortemCfg(kernel, core.AppLevel, sched.Auto, 64, 12), pool)
 		})

@@ -7,13 +7,18 @@
 //	pmbench -exp fig5 [-scale 0.2] [-seed 1] [-workers 0] [-quick] [-max-windows 384]
 //	pmbench -exp all [-json BENCH_run.json] [-metrics-addr :8080]
 //	        [-trace-out sched.trace.json] [-report-out last-report.json]
+//	pmbench -diff before.json after.json [-diff-threshold 1.25]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"pmpr/internal/bench"
 	"pmpr/internal/core"
@@ -35,11 +40,18 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of every engine run's schedule")
 		reportOut   = flag.String("report-out", "", "write the last engine run's report JSON")
 		version     = flag.Bool("version", false, "print build info and exit")
+
+		diff          = flag.Bool("diff", false, "compare two pmpr-bench/v1 JSON files (positional: before.json after.json) and exit nonzero on regression")
+		diffThreshold = flag.Float64("diff-threshold", 1.25, "with -diff, flag entries whose after/before wall-time ratio exceeds this factor")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("pmbench", obs.CollectBuildInfo())
 		return
+	}
+
+	if *diff {
+		os.Exit(runDiff(flag.Args(), *diffThreshold))
 	}
 
 	if *list {
@@ -92,11 +104,16 @@ func main() {
 		o.Trace = obs.NewTrace()
 	}
 
+	// First SIGINT/SIGTERM cancels the running experiment's engine at the
+	// next window/batch boundary; artifacts collected so far still flush.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	runOne := func(e bench.Experiment) error {
 		if jr != nil {
-			return jr.RunExperiment(e, o)
+			return jr.RunExperiment(ctx, e, o)
 		}
-		return e.Run(o)
+		return e.Run(ctx, o)
 	}
 
 	fmt.Printf("pmbench: GOMAXPROCS=%d scale=%g seed=%d quick=%v\n",
@@ -104,6 +121,9 @@ func main() {
 	var err error
 	if *exp == "all" {
 		for _, e := range bench.Experiments() {
+			if ctx.Err() != nil {
+				break
+			}
 			fmt.Printf("\n=== %s: %s ===\n", e.ID, e.Title)
 			if err = runOne(e); err != nil {
 				err = fmt.Errorf("%s: %w", e.ID, err)
@@ -146,8 +166,41 @@ func main() {
 		fmt.Printf("schedule trace written to %s (%d events; load in Perfetto)\n", *traceOut, o.Trace.Len())
 	}
 	if err != nil {
+		if errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "pmbench: interrupted; partial results flushed")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
+}
+
+// runDiff implements -diff: compare two bench JSON files and return the
+// process exit code (0 clean, 1 regression or error, 2 usage).
+func runDiff(paths []string, threshold float64) int {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "pmbench: -diff needs exactly two positional arguments: before.json after.json")
+		return 2
+	}
+	before, err := bench.ReadJSONReport(paths[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmbench: %v\n", err)
+		return 1
+	}
+	after, err := bench.ReadJSONReport(paths[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmbench: %v\n", err)
+		return 1
+	}
+	d := bench.DiffReports(before, after)
+	d.Render(os.Stdout)
+	if regs := d.Regressions(threshold); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "pmbench: %d entries regressed beyond %.2fx:\n", len(regs), threshold)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %-40s %.3gs -> %.3gs (%.2fx)\n", r.Key, r.Before, r.After, r.Ratio)
+		}
+		return 1
+	}
+	return 0
 }
 
 func fatal(err error) {

@@ -15,9 +15,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pmpr/internal/closeness"
@@ -120,6 +124,13 @@ func main() {
 		}
 	}
 
+	// First SIGINT/SIGTERM cancels the solve cooperatively (the engine
+	// stops at the next window/batch boundary); a second signal kills
+	// the process the usual way because stop() restores the default
+	// handlers once ctx is done.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	start := time.Now()
 	switch *model {
 	case "postmortem":
@@ -142,8 +153,14 @@ func main() {
 			tr = obs.NewTrace()
 			eng.SetTrace(tr)
 		}
-		s, err := eng.Run()
+		s, err := eng.Run(ctx)
 		if err != nil {
+			var canceled *core.CanceledError
+			if errors.As(err, &canceled) {
+				fmt.Printf("pmrank: interrupted; partial progress: %d/%d windows solved\n",
+					canceled.Completed, canceled.Total)
+				os.Exit(130)
+			}
 			fatal(err)
 		}
 		elapsed := time.Since(start)
@@ -320,7 +337,7 @@ func readLog(path string) (*events.Log, error) {
 	return events.ReadText(f)
 }
 
-func parseKernel(s string) core.Kernel {
+func parseKernel(s string) core.KernelID {
 	switch s {
 	case "spmv":
 		return core.SpMV

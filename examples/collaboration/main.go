@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -52,7 +54,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		series, err := eng.Run()
+		series, err := eng.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"sort"
@@ -42,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	series, err := eng.Run()
+	series, err := eng.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

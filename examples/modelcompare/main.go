@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"time"
@@ -69,7 +71,7 @@ func main() {
 		log.Fatal(err)
 	}
 	t0 = time.Now()
-	series, err := eng.Run()
+	series, err := eng.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

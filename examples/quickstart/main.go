@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -51,7 +53,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	series, err := eng.Run()
+	series, err := eng.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,8 @@ package pmpr
 // engine must be deterministic across runs of the same configuration.
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -66,7 +68,7 @@ func TestThreeModelsAgreeOnSyntheticData(t *testing.T) {
 		if err != nil {
 			t.Fatalf("postmortem: %v", err)
 		}
-		series, err := eng.Run()
+		series, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("postmortem run: %v", err)
 		}
@@ -97,7 +99,7 @@ func TestPostmortemDeterministicSerial(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewEngine: %v", err)
 		}
-		s, err := eng.Run()
+		s, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -137,7 +139,7 @@ func TestParallelCloseToSerial(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	serial, err := serialEng.Run()
+	serial, err := serialEng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -145,7 +147,7 @@ func TestParallelCloseToSerial(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	par, err := parEng.Run()
+	par, err := parEng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

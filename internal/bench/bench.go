@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -83,13 +84,15 @@ type Experiment struct {
 	ID string
 	// Title describes what the paper reports there.
 	Title string
-	// Run executes the experiment and renders its output.
-	Run func(o Options) error
+	// Run executes the experiment and renders its output. The context
+	// cancels the experiment's engine runs mid-solve (Ctrl-C on
+	// pmbench); experiments abort at the next window/batch boundary.
+	Run func(ctx context.Context, o Options) error
 }
 
 var registry []Experiment
 
-func register(id, title string, run func(o Options) error) {
+func register(id, title string, run func(ctx context.Context, o Options) error) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
 }
 
@@ -106,11 +109,14 @@ func Get(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// RunAll executes every experiment.
-func RunAll(o Options) error {
+// RunAll executes every experiment, stopping early when ctx cancels.
+func RunAll(ctx context.Context, o Options) error {
 	for _, e := range registry {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fmt.Fprintf(o.Out, "\n=== %s: %s ===\n", e.ID, e.Title)
-		if err := e.Run(o); err != nil {
+		if err := e.Run(ctx, o); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 	}
@@ -230,25 +236,25 @@ func timeIt(fn func() error) (float64, error) {
 }
 
 // runPostmortem builds (or reuses) an engine and times Run.
-func runPostmortem(o Options, l *events.Log, spec events.WindowSpec, cfg core.Config, pool *sched.Pool) (float64, *core.Series, error) {
+func runPostmortem(ctx context.Context, o Options, l *events.Log, spec events.WindowSpec, cfg core.Config, pool *sched.Pool) (float64, *core.Series, error) {
 	cfg.Directed = false
 	cfg.DiscardRanks = true
 	eng, err := core.NewEngine(l, spec, cfg, pool)
 	if err != nil {
 		return 0, nil, err
 	}
-	return runPostmortemReusing(o, eng)
+	return runPostmortemReusing(ctx, o, eng)
 }
 
 // runPostmortemReusing times Run on a prebuilt representation.
-func runPostmortemReusing(o Options, eng *core.Engine) (float64, *core.Series, error) {
+func runPostmortemReusing(ctx context.Context, o Options, eng *core.Engine) (float64, *core.Series, error) {
 	if o.Trace != nil {
 		eng.SetTrace(o.Trace)
 	}
 	var s *core.Series
 	secs, err := timeIt(func() error {
 		var err error
-		s, err = eng.Run()
+		s, err = eng.Run(ctx)
 		return err
 	})
 	if err == nil && o.ReportSink != nil && s.Report != nil {

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"bytes"
 	"encoding/json"
 	"strings"
@@ -30,7 +32,7 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := e.Run(quickOptions(&buf)); err != nil {
+			if err := e.Run(context.Background(), quickOptions(&buf)); err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
 			if buf.Len() == 0 {
@@ -237,7 +239,7 @@ func TestJSONReportCapturesExperimentAndEngineRuns(t *testing.T) {
 	if !ok {
 		t.Fatal("fig6 not registered")
 	}
-	if err := jr.RunExperiment(e, o); err != nil {
+	if err := jr.RunExperiment(context.Background(), e, o); err != nil {
 		t.Fatalf("fig6: %v", err)
 	}
 	if len(jr.Experiments) != 1 || jr.Experiments[0].ID != "fig6" ||

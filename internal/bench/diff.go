@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// DiffEntry is one compared wall time between two bench reports: an
+// experiment's total seconds or the best engine run of one
+// kernel/mode/workers/windows configuration.
+type DiffEntry struct {
+	// Key identifies the compared entity ("exp:fig5" or
+	// "run:spmm/nested/w8/256").
+	Key string
+	// Before and After are the wall seconds in the older and newer
+	// report.
+	Before float64
+	// After is the newer report's wall seconds for the same key.
+	After float64
+	// Ratio is After/Before (>1 = slower). 0 when Before is 0.
+	Ratio float64
+}
+
+// BenchDiff is the comparison of two pmpr-bench/v1 reports: entries
+// present in both (comparable), plus the keys only one side has.
+type BenchDiff struct {
+	// Entries holds the matched comparisons, sorted by descending Ratio
+	// so regressions lead.
+	Entries []DiffEntry
+	// OnlyBefore and OnlyAfter list keys without a counterpart (new or
+	// removed experiments/configurations); they never fail the gate.
+	OnlyBefore []string
+	// OnlyAfter lists keys present only in the newer report.
+	OnlyAfter []string
+}
+
+// ReadJSONReport loads and schema-checks a bench JSON file written by
+// pmbench -json.
+func ReadJSONReport(path string) (*JSONReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r JSONReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.Schema != JSONSchema {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, r.Schema, JSONSchema)
+	}
+	return &r, nil
+}
+
+// diffTimes collects the comparable wall times of one report: every
+// experiment keyed by id, and every engine-run configuration keyed by
+// kernel/mode/workers/windows taking the MINIMUM wall time across
+// repeats (experiments re-run configurations with different grains; the
+// best time is the stable perf signal, single runs pass through).
+func diffTimes(r *JSONReport) map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range r.Experiments {
+		if e.Error != "" {
+			continue
+		}
+		out["exp:"+e.ID] = e.Seconds
+	}
+	for _, er := range r.EngineRuns {
+		key := fmt.Sprintf("run:%s/%s/w%d/%d", er.Kernel, er.Mode, er.Workers, er.Windows)
+		if prev, ok := out[key]; !ok || er.WallSeconds < prev {
+			out[key] = er.WallSeconds
+		}
+	}
+	return out
+}
+
+// DiffReports compares two bench reports key by key.
+func DiffReports(before, after *JSONReport) *BenchDiff {
+	bt, at := diffTimes(before), diffTimes(after)
+	d := &BenchDiff{}
+	for key, bv := range bt {
+		av, ok := at[key]
+		if !ok {
+			d.OnlyBefore = append(d.OnlyBefore, key)
+			continue
+		}
+		e := DiffEntry{Key: key, Before: bv, After: av}
+		if bv > 0 {
+			e.Ratio = av / bv
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	for key := range at {
+		if _, ok := bt[key]; !ok {
+			d.OnlyAfter = append(d.OnlyAfter, key)
+		}
+	}
+	sort.Slice(d.Entries, func(i, j int) bool {
+		if d.Entries[i].Ratio > d.Entries[j].Ratio {
+			return true
+		}
+		if d.Entries[i].Ratio < d.Entries[j].Ratio {
+			return false
+		}
+		return d.Entries[i].Key < d.Entries[j].Key
+	})
+	sort.Strings(d.OnlyBefore)
+	sort.Strings(d.OnlyAfter)
+	return d
+}
+
+// Regressions returns the entries whose Ratio exceeds threshold (e.g.
+// 1.25 = 25% slower). Entries with a zero Before are never regressions.
+func (d *BenchDiff) Regressions(threshold float64) []DiffEntry {
+	var out []DiffEntry
+	for _, e := range d.Entries {
+		if e.Before > 0 && e.Ratio > threshold {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render prints the comparison as a table, slowest-ratio first.
+func (d *BenchDiff) Render(w io.Writer) {
+	t := NewTable("key", "before(s)", "after(s)", "ratio")
+	for _, e := range d.Entries {
+		t.Rowf(e.Key, e.Before, e.After, e.Ratio)
+	}
+	t.Render(w)
+	if len(d.OnlyBefore) > 0 {
+		fmt.Fprintf(w, "only in before: %v\n", d.OnlyBefore)
+	}
+	if len(d.OnlyAfter) > 0 {
+		fmt.Fprintf(w, "only in after: %v\n", d.OnlyAfter)
+	}
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diffReport(exps map[string]float64, runs []EngineRunSummary) *JSONReport {
+	r := &JSONReport{Schema: JSONSchema}
+	for id, secs := range exps {
+		r.Experiments = append(r.Experiments, ExperimentResult{ID: id, Title: id, Seconds: secs})
+	}
+	r.EngineRuns = runs
+	return r
+}
+
+func TestDiffReportsMatchingAndRegression(t *testing.T) {
+	before := diffReport(map[string]float64{"fig5": 10, "fig6": 4, "gone": 1}, []EngineRunSummary{
+		{Kernel: "spmm", Mode: "nested", Workers: 8, Windows: 256, WallSeconds: 2.0},
+		// A repeat of the same configuration: the diff keys on the
+		// minimum wall time across repeats.
+		{Kernel: "spmm", Mode: "nested", Workers: 8, Windows: 256, WallSeconds: 1.0},
+	})
+	after := diffReport(map[string]float64{"fig5": 20, "fig6": 4, "new": 1}, []EngineRunSummary{
+		{Kernel: "spmm", Mode: "nested", Workers: 8, Windows: 256, WallSeconds: 1.1},
+	})
+	d := DiffReports(before, after)
+	if len(d.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3: %+v", len(d.Entries), d.Entries)
+	}
+	// Sorted by descending ratio: fig5 (2.0) leads.
+	if d.Entries[0].Key != "exp:fig5" || d.Entries[0].Ratio != 2.0 {
+		t.Fatalf("worst entry = %+v, want exp:fig5 at 2.0x", d.Entries[0])
+	}
+	if len(d.OnlyBefore) != 1 || d.OnlyBefore[0] != "exp:gone" {
+		t.Fatalf("OnlyBefore = %v", d.OnlyBefore)
+	}
+	if len(d.OnlyAfter) != 1 || d.OnlyAfter[0] != "exp:new" {
+		t.Fatalf("OnlyAfter = %v", d.OnlyAfter)
+	}
+
+	regs := d.Regressions(1.25)
+	if len(regs) != 1 || regs[0].Key != "exp:fig5" {
+		t.Fatalf("regressions at 1.25 = %+v, want only exp:fig5", regs)
+	}
+	if regs := d.Regressions(1.05); len(regs) != 2 {
+		// 1.1/1.0 engine-run ratio crosses a 1.05 threshold too.
+		t.Fatalf("regressions at 1.05 = %+v, want 2", regs)
+	}
+	if regs := d.Regressions(3); len(regs) != 0 {
+		t.Fatalf("regressions at 3.0 = %+v, want none", regs)
+	}
+
+	var buf bytes.Buffer
+	d.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"exp:fig5", "run:spmm/nested/w8/256", "only in before", "only in after"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffSkipsFailedExperiments(t *testing.T) {
+	before := diffReport(map[string]float64{"fig5": 10}, nil)
+	before.Experiments = append(before.Experiments,
+		ExperimentResult{ID: "broken", Seconds: 1, Error: "boom"})
+	after := diffReport(map[string]float64{"fig5": 10, "broken": 99}, nil)
+	d := DiffReports(before, after)
+	for _, e := range d.Entries {
+		if e.Key == "exp:broken" {
+			t.Fatal("failed experiment must not be compared")
+		}
+	}
+}
+
+func TestReadJSONReportRoundTripAndSchemaCheck(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	r := diffReport(map[string]float64{"fig5": 1}, nil)
+	if err := r.WriteFile(good); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONReport(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != JSONSchema || len(back.Experiments) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSONReport(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema mismatch not rejected: %v", err)
+	}
+	if _, err := ReadJSONReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file not rejected")
+	}
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSONReport(garbled); err == nil {
+		t.Fatal("bad JSON not rejected")
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -35,7 +36,7 @@ func init() {
 	register("profile-imbalance", "Per-window work distribution per dataset (Sec. 6.1)", expProfileImbalance)
 }
 
-func expTable1(o Options) error {
+func expTable1(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	t := NewTable("name", "events", "events(x2 sym)", "vertices", "span(days)", "sliding offsets(s)", "window sizes(days)")
 	for _, name := range gen.Names() {
@@ -51,7 +52,7 @@ func expTable1(o Options) error {
 	return nil
 }
 
-func expFig4(o Options) error {
+func expFig4(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	bins := 60
 	for _, name := range gen.Names() {
@@ -72,7 +73,7 @@ func expFig4(o Options) error {
 	return nil
 }
 
-func expFig5(o Options) error {
+func expFig5(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	cases := []struct {
 		dataset string
@@ -112,11 +113,11 @@ func expFig5(o Options) error {
 			if err != nil {
 				return err
 			}
-			postT, _, err := runPostmortem(o, l, spec, barebonePostmortem(), pool)
+			postT, _, err := runPostmortem(ctx, o, l, spec, barebonePostmortem(), pool)
 			if err != nil {
 				return err
 			}
-			tunedT, _, err := runPostmortem(o, l, spec, suggestedConfig(spec), pool)
+			tunedT, _, err := runPostmortem(ctx, o, l, spec, suggestedConfig(spec), pool)
 			if err != nil {
 				return err
 			}
@@ -127,7 +128,7 @@ func expFig5(o Options) error {
 	return nil
 }
 
-func expFig6(o Options) error {
+func expFig6(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	datasets := []string{"stackoverflow", "wikitalk"}
 	deltas := []float64{10, 15, 90, 180}
@@ -150,12 +151,12 @@ func expFig6(o Options) error {
 			}
 			cfg := barebonePostmortem()
 			cfg.PartialInit = false
-			fullT, fullS, err := runPostmortem(o, l, spec, cfg, pool)
+			fullT, fullS, err := runPostmortem(ctx, o, l, spec, cfg, pool)
 			if err != nil {
 				return err
 			}
 			cfg.PartialInit = true
-			partT, partS, err := runPostmortem(o, l, spec, cfg, pool)
+			partT, partS, err := runPostmortem(ctx, o, l, spec, cfg, pool)
 			if err != nil {
 				return err
 			}
@@ -170,8 +171,8 @@ func expFig6(o Options) error {
 // makeGrainFigure builds the Figs. 7/9/10 sweep: speedup over streaming
 // as a function of the scheduler grain, for every partitioner x
 // parallelization level x kernel, at a fixed number of windows.
-func makeGrainFigure(windows int, deltaDays float64) func(o Options) error {
-	return func(o Options) error {
+func makeGrainFigure(windows int, deltaDays float64) func(ctx context.Context, o Options) error {
+	return func(ctx context.Context, o Options) error {
 		o = o.withDefaults()
 		if windows > o.MaxWindows {
 			windows = o.MaxWindows
@@ -207,7 +208,7 @@ func makeGrainFigure(windows int, deltaDays float64) func(o Options) error {
 		}
 		parts := []sched.Partitioner{sched.Auto, sched.Simple, sched.Static}
 		modes := []core.ParallelMode{core.Nested, core.AppLevel, core.WindowLevel}
-		kernels := []core.Kernel{core.SpMM, core.SpMV}
+		kernels := []core.KernelID{core.SpMM, core.SpMV}
 		grains := grainSweep(o.Quick)
 		for _, part := range parts {
 			t := NewTable(append([]string{"config (" + part.String() + ")"}, func() []string {
@@ -233,7 +234,7 @@ func makeGrainFigure(windows int, deltaDays float64) func(o Options) error {
 						if err != nil {
 							return err
 						}
-						secs, _, err := runPostmortemReusing(o, eng)
+						secs, _, err := runPostmortemReusing(ctx, o, eng)
 						if err != nil {
 							return err
 						}
@@ -249,7 +250,7 @@ func makeGrainFigure(windows int, deltaDays float64) func(o Options) error {
 	}
 }
 
-func expFig8(o Options) error {
+func expFig8(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	windows := 256
 	if windows > o.MaxWindows {
@@ -294,7 +295,7 @@ func expFig8(o Options) error {
 			cfg.DiscardRanks = true
 			for _, g := range grains {
 				cfg.Grain = g
-				secs, _, err := runPostmortem(o, l, spec, cfg, pool)
+				secs, _, err := runPostmortem(ctx, o, l, spec, cfg, pool)
 				if err != nil {
 					return err
 				}
@@ -308,7 +309,7 @@ func expFig8(o Options) error {
 	return nil
 }
 
-func expFig11(o Options) error {
+func expFig11(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	names := gen.Names()
 	if o.Quick {
@@ -356,7 +357,7 @@ func expFig11(o Options) error {
 				}
 				bestT := math.Inf(1)
 				for _, cfg := range candidates {
-					secs, _, err := runPostmortem(o, l, spec, cfg, pool)
+					secs, _, err := runPostmortem(ctx, o, l, spec, cfg, pool)
 					if err != nil {
 						return err
 					}
@@ -382,7 +383,7 @@ func expFig11(o Options) error {
 	return nil
 }
 
-func expFig12(o Options) error {
+func expFig12(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	l, d, err := loadDataset("wikitalk", o)
 	if err != nil {
@@ -407,7 +408,7 @@ func expFig12(o Options) error {
 			if err != nil {
 				return err
 			}
-			secs, _, err := runPostmortem(o, l, spec, suggestedConfig(spec), pool)
+			secs, _, err := runPostmortem(ctx, o, l, spec, suggestedConfig(spec), pool)
 			if err != nil {
 				return err
 			}
@@ -419,7 +420,7 @@ func expFig12(o Options) error {
 	return nil
 }
 
-func expAblationVecLen(o Options) error {
+func expAblationVecLen(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	l, _, err := loadDataset("wikitalk", o)
 	if err != nil {
@@ -445,7 +446,7 @@ func expAblationVecLen(o Options) error {
 			cfg := suggestedConfig(spec)
 			cfg.VectorLen = vl
 			cfg.PartialInit = partial
-			secs, s, err := runPostmortem(o, l, spec, cfg, pool)
+			secs, s, err := runPostmortem(ctx, o, l, spec, cfg, pool)
 			if err != nil {
 				return err
 			}
@@ -457,7 +458,7 @@ func expAblationVecLen(o Options) error {
 	return nil
 }
 
-func expAblationReplication(o Options) error {
+func expAblationReplication(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	l, _, err := loadDataset("wikitalk", o)
 	if err != nil {
@@ -497,7 +498,7 @@ func expAblationReplication(o Options) error {
 	return nil
 }
 
-func expAblationImbalance(o Options) error {
+func expAblationImbalance(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	pool := o.newPool()
 	defer pool.Close()
@@ -515,7 +516,7 @@ func expAblationImbalance(o Options) error {
 		for _, mode := range []core.ParallelMode{core.AppLevel, core.WindowLevel, core.Nested} {
 			cfg := suggestedConfig(spec)
 			cfg.Mode = mode
-			secs, _, err := runPostmortem(o, l, spec, cfg, pool)
+			secs, _, err := runPostmortem(ctx, o, l, spec, cfg, pool)
 			if err != nil {
 				return err
 			}
@@ -530,7 +531,7 @@ func expAblationImbalance(o Options) error {
 	return nil
 }
 
-func expAblationPartition(o Options) error {
+func expAblationPartition(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	pool := o.newPool()
 	defer pool.Close()
@@ -562,7 +563,7 @@ func expAblationPartition(o Options) error {
 				sumE += mw.NumEvents()
 			}
 			imb := float64(maxE) / (float64(sumE) / float64(len(eng.Temporal().MWs)))
-			secs, _, err := runPostmortemReusing(o, eng)
+			secs, _, err := runPostmortemReusing(ctx, o, eng)
 			if err != nil {
 				return err
 			}
@@ -580,7 +581,7 @@ func expAblationPartition(o Options) error {
 	return nil
 }
 
-func expExtKernels(o Options) error {
+func expExtKernels(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	pool := o.newPool()
 	defer pool.Close()
@@ -598,7 +599,7 @@ func expExtKernels(o Options) error {
 		if err != nil {
 			return err
 		}
-		prT, _, err := runPostmortem(o, l, spec, suggestedConfig(spec), pool)
+		prT, _, err := runPostmortem(ctx, o, l, spec, suggestedConfig(spec), pool)
 		if err != nil {
 			return err
 		}
@@ -635,7 +636,7 @@ func expExtKernels(o Options) error {
 	return nil
 }
 
-func expProfileImbalance(o Options) error {
+func expProfileImbalance(ctx context.Context, o Options) error {
 	o = o.withDefaults()
 	pool := o.newPool()
 	defer pool.Close()

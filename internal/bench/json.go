@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -110,8 +111,8 @@ func scratchHitRate(r *core.RunReport) float64 {
 // RunExperiment executes one experiment, timing it and recording the
 // outcome (including failures) in the report. The experiment's own
 // error is returned so the caller can still abort the suite.
-func (j *JSONReport) RunExperiment(e Experiment, o Options) error {
-	secs, err := timeIt(func() error { return e.Run(o) })
+func (j *JSONReport) RunExperiment(ctx context.Context, e Experiment, o Options) error {
+	secs, err := timeIt(func() error { return e.Run(ctx, o) })
 	res := ExperimentResult{ID: e.ID, Title: e.Title, Seconds: secs}
 	if err != nil {
 		res.Error = err.Error()

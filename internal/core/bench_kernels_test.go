@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -38,7 +40,7 @@ func benchRandomLog(b *testing.B, seed int64, n int32, m int, span int64) *event
 	return l
 }
 
-func benchConfig(kernel Kernel, mode ParallelMode) Config {
+func benchConfig(kernel KernelID, mode ParallelMode) Config {
 	cfg := DefaultConfig()
 	cfg.Kernel = kernel
 	cfg.Mode = mode
@@ -49,7 +51,7 @@ func benchConfig(kernel Kernel, mode ParallelMode) Config {
 	return cfg
 }
 
-var benchKernels = []Kernel{SpMV, SpMVBlocked, SpMM}
+var benchKernels = []KernelID{SpMV, SpMVBlocked, SpMM}
 
 type benchMode struct {
 	name    string
@@ -94,13 +96,13 @@ func BenchmarkIter(b *testing.B) {
 				if err != nil {
 					b.Fatalf("warm engine: %v", err)
 				}
-				if _, err := wEng.Run(); err != nil {
+				if _, err := wEng.Run(context.Background()); err != nil {
 					b.Fatalf("warm Run: %v", err)
 				}
-				eng.arena = wEng.arena // share the warmed arena
+				eng.solve.arena = wEng.solve.arena // share the warmed arena
 				b.ReportAllocs()
 				b.ResetTimer()
-				if _, err := eng.Run(); err != nil {
+				if _, err := eng.Run(context.Background()); err != nil {
 					b.Fatalf("Run: %v", err)
 				}
 			})
@@ -125,13 +127,13 @@ func BenchmarkRun(b *testing.B) {
 				if err != nil {
 					b.Fatalf("NewEngine: %v", err)
 				}
-				if _, err := eng.Run(); err != nil {
+				if _, err := eng.Run(context.Background()); err != nil {
 					b.Fatalf("warm Run: %v", err)
 				}
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := eng.Run(); err != nil {
+					if _, err := eng.Run(context.Background()); err != nil {
 						b.Fatalf("Run: %v", err)
 					}
 				}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"pmpr/internal/events"
+	"pmpr/internal/sched"
+)
+
+// slowEngine builds an engine whose solve takes long enough (many
+// windows, unreachable tolerance) that a cancellation reliably lands
+// mid-solve.
+func slowEngine(t *testing.T, cfg Config, pool *sched.Pool) (*Engine, events.WindowSpec) {
+	t.Helper()
+	l := randomLog(t, 7, 200, 20000, 200000)
+	spec, err := events.Span(l, 10000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Opts.Tol = 1e-300 // unreachable: every window runs MaxIter sweeps
+	cfg.Opts.MaxIter = 120
+	cfg.DiscardRanks = true
+	eng, err := NewEngine(l, spec, cfg, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, spec
+}
+
+func cancelConfigs() map[string]Config {
+	out := map[string]Config{}
+	for _, kern := range []KernelID{SpMV, SpMVBlocked, SpMM} {
+		for _, mode := range []ParallelMode{AppLevel, WindowLevel, Nested} {
+			cfg := DefaultConfig()
+			cfg.Kernel = kern
+			cfg.Mode = mode
+			cfg.VectorLen = 8
+			out[kern.String()+"/"+mode.String()] = cfg
+		}
+	}
+	return out
+}
+
+func TestRunCancelMidSolve(t *testing.T) {
+	for name, cfg := range cancelConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			pool := sched.NewPool(4)
+			defer pool.Close()
+			eng, spec := slowEngine(t, cfg, pool)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go func() {
+				time.Sleep(10 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			s, err := eng.Run(ctx)
+			returned := time.Since(start)
+			if s != nil {
+				t.Fatal("canceled run returned a series")
+			}
+			var ce *CanceledError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v, want *CanceledError", err)
+			}
+			if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+				t.Fatalf("err %v must match ErrCanceled and context.Canceled", err)
+			}
+			if ce.Total != spec.Count || ce.Completed < 0 || ce.Completed >= ce.Total {
+				t.Fatalf("progress %d/%d out of range (windows=%d)", ce.Completed, ce.Total, spec.Count)
+			}
+			// Cancellation is cooperative at window/batch/iteration
+			// boundaries; with this workload's tiny windows the solve must
+			// stop well inside 100ms of the cancel signal.
+			if returned > 110*time.Millisecond {
+				t.Fatalf("Run returned %v after cancel; want < 100ms past the signal", returned)
+			}
+			if got := eng.Counters().Canceled.Value(); got != 1 {
+				t.Fatalf("canceled counter = %d, want 1", got)
+			}
+
+			// The arena must be consistent after the cancel path: every
+			// buffer the kernels drew was returned, so a full re-run on
+			// the same engine succeeds and ends with zero outstanding
+			// buffers relative to its own steady state.
+			s, err = eng.Run(context.Background())
+			if err != nil {
+				t.Fatalf("re-run after cancel: %v", err)
+			}
+			if s.Len() != spec.Count {
+				t.Fatalf("re-run solved %d of %d windows", s.Len(), spec.Count)
+			}
+			if got := eng.Counters().Completed.Value(); got != 1 {
+				t.Fatalf("completed counter = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestRunCancelNoGoroutineLeak(t *testing.T) {
+	pool := sched.NewPool(4)
+	cfg := DefaultConfig()
+	cfg.Kernel = SpMM
+	cfg.Mode = Nested
+	cfg.VectorLen = 8
+	eng, _ := slowEngine(t, cfg, pool)
+	// Warm up: pool workers and the runtime's background goroutines
+	// settle before we take the baseline.
+	ctx0, cancel0 := context.WithCancel(context.Background())
+	cancel0()
+	_, _ = eng.Run(ctx0)
+	time.Sleep(20 * time.Millisecond)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+		}()
+		if _, err := eng.Run(ctx); err == nil {
+			// The workload is sized to outlast 5ms, but a loaded CI
+			// machine could finish first; that's not a leak.
+			t.Log("run finished before cancel; continuing")
+		}
+		cancel()
+	}
+	pool.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestRunCancelScratchConsistent(t *testing.T) {
+	// Two identical runs after a canceled one must hit the free lists
+	// for every request (miss delta zero): Finalize ran on the cancel
+	// path and returned every kernel buffer.
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	cfg := DefaultConfig()
+	cfg.Kernel = SpMM
+	cfg.Mode = Nested
+	cfg.VectorLen = 8
+	eng, _ := slowEngine(t, cfg, pool)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := eng.Run(ctx); err == nil {
+		t.Skip("workload finished before cancel; nothing to verify")
+	}
+	st := eng.ScratchStats()
+	if st.Gets != st.Hits+st.Misses {
+		t.Fatalf("inconsistent arena stats after cancel: %+v", st)
+	}
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	warm := eng.ScratchStats()
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	steady := eng.ScratchStats()
+	if d := steady.Misses - warm.Misses; d != 0 {
+		t.Fatalf("steady-state run after cancel still missed %d buffer requests", d)
+	}
+}
+
+func TestRunSequentialRerunsSupported(t *testing.T) {
+	// Run twice on one engine: both must succeed and agree (the
+	// representation is read-only; the arena recycles between runs).
+	l := randomLog(t, 11, 60, 3000, 30000)
+	spec, err := events.Span(l, 6000, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Kernel = SpMV
+	eng, err := NewEngine(l, spec, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("second Run on the same engine: %v", err)
+	}
+	if s1.Len() != s2.Len() {
+		t.Fatalf("run lengths differ: %d vs %d", s1.Len(), s2.Len())
+	}
+	for w := 0; w < s1.Len(); w++ {
+		a, b := s1.Window(w), s2.Window(w)
+		if a.Iterations != b.Iterations || a.ActiveVertices != b.ActiveVertices {
+			t.Fatalf("window %d: runs disagree (%+v vs %+v)", w, a, b)
+		}
+		av, bv := a.Dense(l.NumVertices()), b.Dense(l.NumVertices())
+		for v := range av {
+			if av[v] != bv[v] {
+				t.Fatalf("window %d vertex %d: %v vs %v", w, v, av[v], bv[v])
+			}
+		}
+	}
+	if got := eng.Counters().Started.Value(); got != 2 {
+		t.Fatalf("started counter = %d, want 2", got)
+	}
+}
+
+func TestRunConcurrentCallsRejected(t *testing.T) {
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	cfg := DefaultConfig()
+	cfg.Kernel = SpMV
+	cfg.Mode = WindowLevel
+	eng, _ := slowEngine(t, cfg, pool)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := eng.Run(ctx)
+		done <- err
+	}()
+	<-started
+	// Poll until the overlapping call observes the running flag; the
+	// first Run is busy for much longer than this loop.
+	var overlapped bool
+	for i := 0; i < 1000; i++ {
+		if _, err := eng.Run(ctx); errors.Is(err, ErrConcurrentRun) {
+			overlapped = true
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	<-done
+	if !overlapped {
+		t.Fatal("overlapping Run never returned ErrConcurrentRun")
+	}
+	// The flag clears once the first call returns.
+	if _, err := eng.Run(context.Background()); err != nil {
+		t.Fatalf("run after overlap rejection: %v", err)
+	}
+}
+
+func TestCanceledErrorUnwrap(t *testing.T) {
+	ce := &CanceledError{Completed: 3, Total: 10, Cause: context.DeadlineExceeded}
+	if !errors.Is(ce, ErrCanceled) {
+		t.Fatal("CanceledError must match ErrCanceled")
+	}
+	if !errors.Is(ce, context.DeadlineExceeded) {
+		t.Fatal("CanceledError must expose its cause")
+	}
+	bare := &CanceledError{Completed: 0, Total: 5}
+	if !errors.Is(bare, ErrCanceled) {
+		t.Fatal("cause-less CanceledError must still match ErrCanceled")
+	}
+}

@@ -47,12 +47,14 @@ func (m ParallelMode) String() string {
 	}
 }
 
-// Kernel selects the iteration kernel (paper Sec. 4.4).
-type Kernel int
+// KernelID selects the iteration kernel (paper Sec. 4.4). The id is a
+// stable enum for configs and CLI flags; its String form is the key the
+// plan stage resolves through the kernel registry (see kernel.go).
+type KernelID int
 
 const (
 	// SpMV computes one window's PageRank at a time.
-	SpMV Kernel = iota
+	SpMV KernelID = iota
 	// SpMM advances VectorLen windows of a multi-window graph per sweep
 	// of the shared temporal CSR.
 	SpMM
@@ -63,8 +65,9 @@ const (
 	SpMVBlocked
 )
 
-// String names the kernel as used in reports and CLI flags.
-func (k Kernel) String() string {
+// String names the kernel as used in reports, CLI flags, and the
+// kernel registry.
+func (k KernelID) String() string {
 	switch k {
 	case SpMV:
 		return "spmv"
@@ -73,7 +76,7 @@ func (k Kernel) String() string {
 	case SpMVBlocked:
 		return "spmv-blocked"
 	default:
-		return fmt.Sprintf("Kernel(%d)", int(k))
+		return fmt.Sprintf("KernelID(%d)", int(k))
 	}
 }
 
@@ -92,7 +95,7 @@ type Config struct {
 	// Mode is the parallelization level.
 	Mode ParallelMode
 	// Kernel selects SpMV or SpMM iteration.
-	Kernel Kernel
+	Kernel KernelID
 	// VectorLen is the number of PageRank vectors an SpMM sweep
 	// advances simultaneously (the paper uses 8 or 16).
 	VectorLen int

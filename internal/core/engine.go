@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pmpr/internal/events"
@@ -13,17 +15,23 @@ import (
 )
 
 // Engine computes the postmortem PageRank series of a temporal graph.
-// It owns the temporal CSR representation (built once, reused across
-// Run calls) and a reference to a scheduler pool.
+// It is a thin orchestrator over the staged pipeline: the build and
+// plan stages run once at construction and are cached (build once,
+// solve many), Run executes the solve stage under the caller's
+// context, and the publish stage assembles the Series. Callers that
+// need finer control — re-planning with a different kernel against the
+// same representation, solving without a report — can drive the stage
+// values (BuildStage, PlanStage, SolveStage, PublishStage) directly.
 type Engine struct {
-	tg    *tcsr.Temporal
-	cfg   Config
+	build BuildOutput
+	plan  *SolvePlan
+	solve *SolveStage
 	pool  *sched.Pool
-	arena *scratchArena // kernel working memory, reused across Run calls
 
-	trace        *obs.Trace    // optional; nil = no trace events
-	val          *runValidator // per-Run violation collector; nil unless cfg.Validate
-	buildSeconds float64       // wall time of the TCSR build in NewEngine
+	// running guards against overlapping Run calls: the solve stage's
+	// arena and trace writer are single-run state.
+	running  atomic.Bool
+	counters obs.RunCounters
 }
 
 // newArena sizes the scratch arena for pool (nil = serial engine).
@@ -34,32 +42,29 @@ func newArena(pool *sched.Pool) *scratchArena {
 	return newScratchArena(pool.NumWorkers())
 }
 
+// newEngine plans cfg against a built representation and assembles the
+// cached pipeline.
+func newEngine(build BuildOutput, cfg Config, pool *sched.Pool) (*Engine, error) {
+	workers := 0
+	if pool != nil {
+		workers = pool.NumWorkers()
+	}
+	plan, err := (PlanStage{}).Run(PlanInput{Temporal: build.Temporal, Cfg: cfg, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{build: build, plan: plan, solve: NewSolveStage(pool), pool: pool}, nil
+}
+
 // NewEngine builds the postmortem representation of l under spec and
 // returns an engine. pool may be nil, in which case every mode degrades
 // to a fully serial execution (useful for tests and baselines).
 func NewEngine(l *events.Log, spec events.WindowSpec, cfg Config, pool *sched.Pool) (*Engine, error) {
-	if err := cfg.Check(); err != nil {
-		return nil, err
-	}
-	build := tcsr.Build
-	if cfg.BalancedPartition {
-		build = tcsr.BuildBalanced
-	}
-	start := time.Now()
-	tg, err := build(l, spec, cfg.NumMultiWindows, cfg.Directed)
+	build, err := (BuildStage{}).Run(BuildInput{Log: l, Spec: spec, Cfg: cfg})
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Validate {
-		if err := invariant.CheckTemporal(tg); err != nil {
-			return nil, err
-		}
-		if err := invariant.CheckCoverage(tg, l); err != nil {
-			return nil, err
-		}
-	}
-	return &Engine{tg: tg, cfg: cfg, pool: pool, arena: newArena(pool),
-		buildSeconds: time.Since(start).Seconds()}, nil
+	return newEngine(build, cfg, pool)
 }
 
 // NewEngineFromTemporal wraps an existing representation, so that
@@ -84,26 +89,35 @@ func NewEngineFromTemporal(tg *tcsr.Temporal, cfg Config, pool *sched.Pool) (*En
 			return nil, err
 		}
 	}
-	return &Engine{tg: tg, cfg: cfg, pool: pool, arena: newArena(pool)}, nil
+	return newEngine(BuildOutput{Temporal: tg}, cfg, pool)
 }
 
 // ScratchStats snapshots the scratch arena's buffer-reuse counters.
 // After a warm-up Run with Config.DiscardRanks the miss delta across
 // further Run calls is zero: the steady state allocates nothing.
-func (e *Engine) ScratchStats() ScratchStats { return e.arena.stats() }
+func (e *Engine) ScratchStats() ScratchStats { return e.solve.ScratchStats() }
 
 // Temporal exposes the underlying representation.
-func (e *Engine) Temporal() *tcsr.Temporal { return e.tg }
+func (e *Engine) Temporal() *tcsr.Temporal { return e.plan.Temporal }
 
 // Config returns the engine's configuration.
-func (e *Engine) Config() Config { return e.cfg }
+func (e *Engine) Config() Config { return e.plan.Cfg }
+
+// Plan exposes the cached solve plan (kernel, batch layout). The plan
+// is immutable; re-plan by constructing a new engine or driving
+// PlanStage directly.
+func (e *Engine) Plan() *SolvePlan { return e.plan }
+
+// Counters exposes the engine's run lifecycle counters for metrics
+// registration (see obs.RunCounters.RegisterOn).
+func (e *Engine) Counters() *obs.RunCounters { return &e.counters }
 
 // SetTrace attaches a Chrome trace writer: every subsequent Run records
-// which worker solved which window (SpMV) or batch (SpMM) when, plus
-// thread labels and config metadata. Pass nil to detach. Do not call
-// concurrently with Run.
+// which worker solved which window (width-1 kernels) or batch (SpMM)
+// when, plus thread labels and config metadata. Pass nil to detach. Do
+// not call concurrently with Run.
 func (e *Engine) SetTrace(t *obs.Trace) {
-	e.trace = t
+	e.solve.SetTrace(t)
 	if t == nil {
 		return
 	}
@@ -114,165 +128,39 @@ func (e *Engine) SetTrace(t *obs.Trace) {
 			t.ThreadName(i+1, fmt.Sprintf("worker %d", i))
 		}
 	}
-	t.SetMeta("config", e.cfg.Info())
+	t.SetMeta("config", e.plan.Cfg.Info())
 	t.SetMeta("build", obs.CollectBuildInfo())
 }
 
-// traceTID maps a window-loop worker id to a trace thread id (tid 0 is
-// the main/serial thread, workers start at 1).
-func traceTID(wid int) int { return wid + 1 }
-
 // Run computes PageRank for every window of the sequence and returns
-// the series. It is safe to call Run repeatedly; the representation is
-// read-only during execution.
-func (e *Engine) Run() (*Series, error) {
-	count := e.tg.Spec.Count
-	results := make([]WindowResult, count)
-	var before sched.Stats
-	if e.pool != nil && e.pool.MetricsEnabled() {
-		before = e.pool.Stats()
+// the series. Sequential re-runs on the same engine are supported (the
+// representation is read-only and the arena recycles between runs);
+// overlapping calls return ErrConcurrentRun. Cancel ctx to stop
+// mid-solve: Run then returns a *CanceledError (matching ErrCanceled)
+// carrying the completed-window count. A nil ctx never cancels.
+func (e *Engine) Run(ctx context.Context) (*Series, error) {
+	if !e.running.CompareAndSwap(false, true) {
+		return nil, ErrConcurrentRun
 	}
-	scratchBefore := e.arena.stats()
-	mwSweeps := make([]int64, len(e.tg.MWs))
-	if e.cfg.Validate {
-		e.val = &runValidator{}
-		defer func() { e.val = nil }()
-	}
-	start := time.Now()
-	switch e.cfg.Kernel {
-	case SpMV, SpMVBlocked:
-		e.runSpMV(results)
-	case SpMM:
-		e.runSpMM(results, mwSweeps)
-	default:
-		return nil, fmt.Errorf("core: unknown kernel %v", e.cfg.Kernel)
-	}
-	// Measure the solve duration once; the trace event and the report
-	// wall must agree (they used to be two time.Since calls apart).
-	dur := time.Since(start)
-	wall := dur.Seconds()
-	if e.trace != nil {
-		e.trace.Complete("solve", "phase", 0, start, dur, nil)
-	}
-	if e.val != nil {
-		if err := e.val.err(); err != nil {
-			return nil, err
+	defer e.running.Store(false)
+	e.counters.Started.Inc()
+	out, err := e.solve.Run(ctx, e.plan)
+	if err != nil {
+		if errors.Is(err, ErrCanceled) {
+			e.counters.Canceled.Inc()
 		}
+		return nil, err
 	}
-	return &Series{
-		Spec:        e.tg.Spec,
-		NumVertices: e.tg.NumVertices(),
-		Results:     results,
-		Report:      e.buildReport(results, mwSweeps, wall, before, scratchBefore),
-	}, nil
-}
-
-// spmvRange processes windows [lo, hi) in order with the SpMV kernel,
-// chaining partial initialization inside the range: a window
-// warm-starts iff its predecessor was computed in this same range and
-// lives in the same multi-window graph — exactly the paper's "if the
-// same thread processes Gi-1 and Gi, partial initialization occurs".
-func (e *Engine) spmvRange(lo, hi, wid int, loop forLoop, results []WindowResult) {
-	sb, release := e.arena.acquire(wid)
-	defer release()
-	var prev []float64
-	var prevMW *tcsr.MultiWindow
-	solver := e.solveWindow
-	if e.cfg.Kernel == SpMVBlocked {
-		solver = e.solveWindowBlocked
+	pubStart := time.Now()
+	series, err := (PublishStage{}).Run(PublishInput{
+		Plan:         e.plan,
+		Solve:        out,
+		BuildSeconds: e.build.Seconds,
+	})
+	if err != nil {
+		return nil, err
 	}
-	for w := lo; w < hi; w++ {
-		mw := e.tg.ForWindow(w)
-		var init []float64
-		if e.cfg.PartialInit && prevMW == mw && prev != nil {
-			init = prev
-		}
-		t0 := time.Now()
-		r := solver(mw, w, init, sb, loop)
-		dur := time.Since(t0)
-		r.WallSeconds = dur.Seconds()
-		r.Worker = wid
-		if e.trace != nil {
-			e.trace.Complete(fmt.Sprintf("window %d", w), "window", traceTID(wid), t0, dur,
-				map[string]interface{}{
-					"window": w, "iterations": r.Iterations,
-					"active": r.ActiveVertices, "warm_start": r.UsedPartialInit,
-				})
-		}
-		e.validateWindow(&r)
-		if e.cfg.DiscardRanks && prev != nil {
-			// The predecessor vector has served its warm start; recycle.
-			sb.putF64(prev)
-		}
-		prev, prevMW = r.ranks, mw
-		if e.cfg.DiscardRanks {
-			r.ranks = nil
-		}
-		results[w] = r
-	}
-	if e.cfg.DiscardRanks && prev != nil {
-		sb.putF64(prev)
-	}
-}
-
-func (e *Engine) runSpMV(results []WindowResult) {
-	count := e.tg.Spec.Count
-	grain := e.cfg.grain()
-	part := e.cfg.Partitioner
-	switch {
-	case e.pool == nil:
-		e.spmvRange(0, count, -1, serialLoop, results)
-	case e.cfg.Mode == AppLevel:
-		// Windows strictly in order; all parallelism inside the kernel.
-		// The window loop runs on one pool worker (via Run) so the inner
-		// loops fork from a worker context instead of paying the
-		// external-submission path per parallel region.
-		e.pool.Run(func(w *sched.Worker) {
-			e.spmvRange(0, count, -1, workerLoop(w, grain, part), results)
-		})
-	case e.cfg.Mode == WindowLevel:
-		e.pool.ParallelFor(count, grain, part, func(w *sched.Worker, lo, hi int) {
-			e.spmvRange(lo, hi, w.ID(), serialLoop, results)
-		})
-	default: // Nested
-		e.pool.ParallelFor(count, grain, part, func(w *sched.Worker, lo, hi int) {
-			e.spmvRange(lo, hi, w.ID(), workerLoop(w, grain, part), results)
-		})
-	}
-}
-
-func (e *Engine) runSpMM(results []WindowResult, mwSweeps []int64) {
-	mws := e.tg.MWs
-	grain := e.cfg.grain()
-	part := e.cfg.Partitioner
-	switch {
-	case e.pool == nil:
-		for i, mw := range mws {
-			e.solveMW(i, mw, -1, serialLoop, results, mwSweeps)
-		}
-	case e.cfg.Mode == AppLevel:
-		e.pool.Run(func(w *sched.Worker) {
-			inner := workerLoop(w, grain, part)
-			for i, mw := range mws {
-				e.solveMW(i, mw, -1, inner, results, mwSweeps)
-			}
-		})
-	case e.cfg.Mode == WindowLevel:
-		// The multi-window graph is the unit of window-level work for
-		// SpMM: its batches are sequentially dependent through partial
-		// initialization, but distinct multi-window graphs are
-		// independent (this is why Fig. 8's window-level runs improve
-		// with more multi-window graphs).
-		e.pool.ParallelFor(len(mws), grain, part, func(w *sched.Worker, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e.solveMW(i, mws[i], w.ID(), serialLoop, results, mwSweeps)
-			}
-		})
-	default: // Nested
-		e.pool.ParallelFor(len(mws), 1, part, func(w *sched.Worker, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				e.solveMW(i, mws[i], w.ID(), workerLoop(w, grain, part), results, mwSweeps)
-			}
-		})
-	}
+	series.Report.SetPhase("publish", time.Since(pubStart).Seconds())
+	e.counters.Completed.Inc()
+	return series, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"bytes"
 	"math"
 	"math/rand"
@@ -69,7 +71,7 @@ func TestAllConfigurationsMatchOracle(t *testing.T) {
 	if spec.Count < 8 {
 		t.Fatalf("want a reasonable window count, got %d", spec.Count)
 	}
-	for _, kernel := range []Kernel{SpMV, SpMM} {
+	for _, kernel := range []KernelID{SpMV, SpMM} {
 		for _, mode := range []ParallelMode{AppLevel, WindowLevel, Nested} {
 			for _, part := range []sched.Partitioner{sched.Auto, sched.Simple, sched.Static} {
 				for _, partial := range []bool{false, true} {
@@ -86,7 +88,7 @@ func TestAllConfigurationsMatchOracle(t *testing.T) {
 						if err != nil {
 							t.Fatalf("NewEngine: %v", err)
 						}
-						s, err := eng.Run()
+						s, err := eng.Run(context.Background())
 						if err != nil {
 							t.Fatalf("Run: %v", err)
 						}
@@ -102,7 +104,7 @@ func TestAllConfigurationsMatchOracle(t *testing.T) {
 func TestSerialNilPoolMatchesOracle(t *testing.T) {
 	l := randomLog(t, 32, 20, 300, 2000)
 	spec, _ := events.Span(l, 300, 100)
-	for _, kernel := range []Kernel{SpMV, SpMM} {
+	for _, kernel := range []KernelID{SpMV, SpMM} {
 		cfg := DefaultConfig()
 		cfg.Kernel = kernel
 		cfg.Directed = true
@@ -111,7 +113,7 @@ func TestSerialNilPoolMatchesOracle(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewEngine: %v", err)
 		}
-		s, err := eng.Run()
+		s, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -129,7 +131,7 @@ func TestUndirectedSymmetrizedMatchesOracle(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	s, err := eng.Run()
+	s, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -151,7 +153,7 @@ func TestPartialInitReducesIterations(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewEngine: %v", err)
 		}
-		s, err := eng.Run()
+		s, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -190,7 +192,7 @@ func TestPartialInitNotAcrossMultiWindowBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	s, err := eng.Run()
+	s, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -207,7 +209,7 @@ func TestSpMMEqualsSpMVExactlySerial(t *testing.T) {
 	// to near-machine precision.
 	l := randomLog(t, 36, 30, 800, 4000)
 	spec, _ := events.Span(l, 600, 150)
-	mk := func(kernel Kernel) *Series {
+	mk := func(kernel KernelID) *Series {
 		cfg := DefaultConfig()
 		cfg.Kernel = kernel
 		cfg.Directed = true
@@ -218,7 +220,7 @@ func TestSpMMEqualsSpMVExactlySerial(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewEngine: %v", err)
 		}
-		s, err := eng.Run()
+		s, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -245,7 +247,7 @@ func TestDiscardRanks(t *testing.T) {
 	defer pool.Close()
 	l := randomLog(t, 37, 15, 200, 1000)
 	spec, _ := events.Span(l, 200, 80)
-	for _, kernel := range []Kernel{SpMV, SpMM} {
+	for _, kernel := range []KernelID{SpMV, SpMM} {
 		cfg := DefaultConfig()
 		cfg.Kernel = kernel
 		cfg.Directed = true
@@ -255,7 +257,7 @@ func TestDiscardRanks(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewEngine: %v", err)
 		}
-		s, err := eng.Run()
+		s, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -284,7 +286,7 @@ func TestEmptyWindowsHandled(t *testing.T) {
 	evs := []events.Event{ev(0, 1, 0), ev(1, 2, 5)}
 	l, _ := events.NewLog(evs, 3)
 	spec := events.WindowSpec{T0: 0, Delta: 10, Slide: 100, Count: 5}
-	for _, kernel := range []Kernel{SpMV, SpMM} {
+	for _, kernel := range []KernelID{SpMV, SpMM} {
 		cfg := DefaultConfig()
 		cfg.Kernel = kernel
 		cfg.Directed = true
@@ -293,7 +295,7 @@ func TestEmptyWindowsHandled(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewEngine: %v", err)
 		}
-		s, err := eng.Run()
+		s, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -317,7 +319,7 @@ func TestSingleWindow(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	s, err := eng.Run()
+	s, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -331,7 +333,7 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.Opts.Alpha = 2 },
 		func(c *Config) { c.NumMultiWindows = 0 },
 		func(c *Config) { c.Mode = ParallelMode(9) },
-		func(c *Config) { c.Kernel = Kernel(7) },
+		func(c *Config) { c.Kernel = KernelID(7) },
 		func(c *Config) { c.Kernel = SpMM; c.VectorLen = 0 },
 		func(c *Config) { c.Grain = -1 },
 	}
@@ -372,7 +374,7 @@ func TestSeriesAPI(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Directed = true
 	eng, _ := NewEngine(l, spec, cfg, nil)
-	s, err := eng.Run()
+	s, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -406,7 +408,7 @@ func TestModeAndKernelStrings(t *testing.T) {
 	if SpMV.String() != "spmv" || SpMM.String() != "spmm" {
 		t.Fatal("kernel names wrong")
 	}
-	if ParallelMode(9).String() == "" || Kernel(9).String() == "" {
+	if ParallelMode(9).String() == "" || KernelID(9).String() == "" {
 		t.Fatal("unknown values should still format")
 	}
 }
@@ -431,7 +433,7 @@ func TestPaperExampleSeries(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	s, err := eng.Run()
+	s, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -474,7 +476,7 @@ func TestBalancedPartitionMatchesOracle(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Span: %v", err)
 	}
-	for _, kernel := range []Kernel{SpMV, SpMM} {
+	for _, kernel := range []KernelID{SpMV, SpMM} {
 		cfg := DefaultConfig()
 		cfg.Kernel = kernel
 		cfg.Directed = true
@@ -484,7 +486,7 @@ func TestBalancedPartitionMatchesOracle(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewEngine: %v", err)
 		}
-		s, err := eng.Run()
+		s, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -498,7 +500,7 @@ func TestExportRoundTrip(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Directed = true
 	eng, _ := NewEngine(l, spec, cfg, nil)
-	s, err := eng.Run()
+	s, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -547,7 +549,7 @@ func TestSpMMRegionStridedOrder(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	s, err := eng.Run()
+	s, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -570,7 +572,7 @@ func TestRankSumsInvariantQuick(t *testing.T) {
 	spec, _ := events.Span(l, 300, 150)
 	f := func(kernelRaw, modeRaw, mwRaw, vlRaw uint8, partial bool) bool {
 		cfg := DefaultConfig()
-		cfg.Kernel = Kernel(kernelRaw % 2)
+		cfg.Kernel = KernelID(kernelRaw % 2)
 		cfg.Mode = ParallelMode(modeRaw % 3)
 		cfg.NumMultiWindows = int(mwRaw%4) + 1
 		cfg.VectorLen = int(vlRaw%8) + 1
@@ -580,7 +582,7 @@ func TestRankSumsInvariantQuick(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		s, err := eng.Run()
+		s, err := eng.Run(context.Background())
 		if err != nil {
 			return false
 		}
@@ -607,7 +609,7 @@ func TestTopKEdgeCases(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Directed = true
 	eng, _ := NewEngine(l, spec, cfg, nil)
-	s, err := eng.Run()
+	s, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -641,7 +643,7 @@ func TestBlockedKernelMatchesOracle(t *testing.T) {
 			if err != nil {
 				t.Fatalf("NewEngine: %v", err)
 			}
-			s, err := eng.Run()
+			s, err := eng.Run(context.Background())
 			if err != nil {
 				t.Fatalf("Run: %v", err)
 			}
@@ -655,7 +657,7 @@ func TestBlockedEqualsPlainSpMVSerial(t *testing.T) {
 	// blocked kernel reorders additions but performs the same update.
 	l := randomLog(t, 50, 30, 800, 4000)
 	spec, _ := events.Span(l, 600, 150)
-	mk := func(kernel Kernel) *Series {
+	mk := func(kernel KernelID) *Series {
 		cfg := DefaultConfig()
 		cfg.Kernel = kernel
 		cfg.Directed = true
@@ -664,7 +666,7 @@ func TestBlockedEqualsPlainSpMVSerial(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewEngine: %v", err)
 		}
-		s, err := eng.Run()
+		s, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -24,7 +26,7 @@ func TestRunWithValidation(t *testing.T) {
 		if !directed {
 			log = l.Symmetrize()
 		}
-		for _, kernel := range []Kernel{SpMV, SpMM, SpMVBlocked} {
+		for _, kernel := range []KernelID{SpMV, SpMM, SpMVBlocked} {
 			for _, mode := range []ParallelMode{AppLevel, WindowLevel, Nested} {
 				cfg := DefaultConfig()
 				cfg.Kernel = kernel
@@ -36,7 +38,7 @@ func TestRunWithValidation(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%v/%v directed=%v: NewEngine: %v", kernel, mode, directed, err)
 				}
-				s, err := eng.Run()
+				s, err := eng.Run(context.Background())
 				if err != nil {
 					t.Fatalf("%v/%v directed=%v: Run: %v", kernel, mode, directed, err)
 				}
@@ -53,7 +55,7 @@ func TestRunWithValidation(t *testing.T) {
 func TestRunWithValidationDiscardRanks(t *testing.T) {
 	l := randomLog(t, 12, 30, 200, 600)
 	spec := events.WindowSpec{T0: 0, Delta: 150, Slide: 80, Count: 6}
-	for _, kernel := range []Kernel{SpMV, SpMM} {
+	for _, kernel := range []KernelID{SpMV, SpMM} {
 		cfg := DefaultConfig()
 		cfg.Kernel = kernel
 		cfg.NumMultiWindows = 2
@@ -64,7 +66,7 @@ func TestRunWithValidationDiscardRanks(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: NewEngine: %v", kernel, err)
 		}
-		s, err := eng.Run()
+		s, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%v: Run with DiscardRanks: %v", kernel, err)
 		}
@@ -114,7 +116,7 @@ func TestConfigCheck(t *testing.T) {
 		t.Error("NumMultiWindows=0 accepted")
 	}
 	bad = DefaultConfig()
-	bad.Kernel = Kernel(99)
+	bad.Kernel = KernelID(99)
 	if err := bad.Check(); err == nil {
 		t.Error("unknown kernel accepted")
 	}

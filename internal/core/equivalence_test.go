@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -12,7 +14,7 @@ import (
 // tolerance, so runs that take different warm-start paths (work
 // stealing moves range boundaries) still land within 1e-12 of the same
 // fixed point and the series are comparable entry-wise.
-func equivCfg(kernel Kernel, mode ParallelMode, partial bool) Config {
+func equivCfg(kernel KernelID, mode ParallelMode, partial bool) Config {
 	cfg := DefaultConfig()
 	cfg.Kernel = kernel
 	cfg.Mode = mode
@@ -48,14 +50,14 @@ func TestScratchRewriteMatchesSerial(t *testing.T) {
 	pool := sched.NewPool(4)
 	defer pool.Close()
 
-	for _, kernel := range []Kernel{SpMV, SpMVBlocked, SpMM} {
+	for _, kernel := range []KernelID{SpMV, SpMVBlocked, SpMM} {
 		for _, partial := range []bool{false, true} {
 			cfg := equivCfg(kernel, AppLevel, partial)
 			serialEng, err := NewEngine(l, spec, cfg, nil)
 			if err != nil {
 				t.Fatalf("serial NewEngine: %v", err)
 			}
-			serialSeries, err := serialEng.Run()
+			serialSeries, err := serialEng.Run(context.Background())
 			if err != nil {
 				t.Fatalf("serial Run: %v", err)
 			}
@@ -68,7 +70,7 @@ func TestScratchRewriteMatchesSerial(t *testing.T) {
 					if err != nil {
 						t.Fatalf("NewEngine: %v", err)
 					}
-					s, err := eng.Run()
+					s, err := eng.Run(context.Background())
 					if err != nil {
 						t.Fatalf("Run: %v", err)
 					}
@@ -98,17 +100,17 @@ func TestScratchRewriteMatchesSerial(t *testing.T) {
 func TestSerialRunTwiceBitIdentical(t *testing.T) {
 	l := randomLog(t, 78, 25, 250, 700)
 	spec := events.WindowSpec{T0: 0, Delta: 160, Slide: 90, Count: 6}
-	for _, kernel := range []Kernel{SpMV, SpMVBlocked, SpMM} {
+	for _, kernel := range []KernelID{SpMV, SpMVBlocked, SpMM} {
 		eng, err := NewEngine(l, spec, equivCfg(kernel, AppLevel, true), nil)
 		if err != nil {
 			t.Fatalf("NewEngine: %v", err)
 		}
-		s1, err := eng.Run()
+		s1, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("first Run: %v", err)
 		}
 		first := denseSeries(t, s1, "first")
-		s2, err := eng.Run()
+		s2, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("second Run: %v", err)
 		}
@@ -138,18 +140,18 @@ func TestDiscardRanksSteadyStateHasZeroMisses(t *testing.T) {
 	}
 	l := randomLog(t, 79, 25, 250, 700)
 	spec := events.WindowSpec{T0: 0, Delta: 160, Slide: 90, Count: 7}
-	for _, kernel := range []Kernel{SpMV, SpMVBlocked, SpMM} {
+	for _, kernel := range []KernelID{SpMV, SpMVBlocked, SpMM} {
 		cfg := equivCfg(kernel, AppLevel, true)
 		cfg.DiscardRanks = true
 		eng, err := NewEngine(l, spec, cfg, nil)
 		if err != nil {
 			t.Fatalf("NewEngine: %v", err)
 		}
-		if _, err := eng.Run(); err != nil {
+		if _, err := eng.Run(context.Background()); err != nil {
 			t.Fatalf("warm-up Run: %v", err)
 		}
 		before := eng.ScratchStats()
-		s, err := eng.Run()
+		s, err := eng.Run(context.Background())
 		if err != nil {
 			t.Fatalf("second Run: %v", err)
 		}
@@ -176,7 +178,7 @@ func TestSteadyStateIterationsDoNotAllocate(t *testing.T) {
 	}
 	l := randomLog(t, 80, 25, 250, 700)
 	spec := events.WindowSpec{T0: 0, Delta: 160, Slide: 90, Count: 6}
-	for _, kernel := range []Kernel{SpMV, SpMVBlocked, SpMM} {
+	for _, kernel := range []KernelID{SpMV, SpMVBlocked, SpMM} {
 		measure := func(maxIter int) float64 {
 			cfg := equivCfg(kernel, AppLevel, true)
 			cfg.DiscardRanks = true
@@ -186,11 +188,11 @@ func TestSteadyStateIterationsDoNotAllocate(t *testing.T) {
 			if err != nil {
 				t.Fatalf("NewEngine: %v", err)
 			}
-			if _, err := eng.Run(); err != nil { // warm the arena
+			if _, err := eng.Run(context.Background()); err != nil { // warm the arena
 				t.Fatalf("warm-up Run: %v", err)
 			}
 			return testing.AllocsPerRun(3, func() {
-				if _, err := eng.Run(); err != nil {
+				if _, err := eng.Run(context.Background()); err != nil {
 					t.Fatalf("Run: %v", err)
 				}
 			})

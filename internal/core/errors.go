@@ -1,0 +1,46 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the sentinel a canceled solve wraps: callers match it
+// with errors.Is regardless of whether the cancellation came from a
+// deadline, an explicit cancel, or a signal-driven shutdown.
+var ErrCanceled = errors.New("core: run canceled")
+
+// ErrConcurrentRun is returned when Engine.Run is entered while another
+// Run on the same engine is still in flight. The engine's scratch arena
+// and trace writer are single-run state; sequential re-runs are
+// supported, overlapping ones are a caller bug.
+var ErrConcurrentRun = errors.New("core: Engine.Run called concurrently on the same engine")
+
+// CanceledError reports a solve cut short by context cancellation. It
+// carries how far the run got so callers (pmrank's SIGINT handler, a
+// serving layer's request teardown) can surface partial progress.
+// errors.Is matches both ErrCanceled and the context's own error
+// (context.Canceled or context.DeadlineExceeded) through Cause.
+type CanceledError struct {
+	// Completed is the number of windows fully solved before the cancel
+	// took effect.
+	Completed int
+	// Total is the number of windows the run was asked to solve.
+	Total int
+	// Cause is the context's error at the time the cancel was observed.
+	Cause error
+}
+
+// Error renders the cancellation with its partial progress.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: run canceled after %d/%d windows: %v", e.Completed, e.Total, e.Cause)
+}
+
+// Unwrap exposes both the ErrCanceled sentinel and the underlying
+// context error to errors.Is / errors.As.
+func (e *CanceledError) Unwrap() []error {
+	if e.Cause == nil {
+		return []error{ErrCanceled}
+	}
+	return []error{ErrCanceled, e.Cause}
+}

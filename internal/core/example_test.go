@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -32,7 +34,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	series, err := eng.Run()
+	series, err := eng.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

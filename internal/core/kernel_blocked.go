@@ -2,52 +2,91 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 
 	"pmpr/internal/sched"
 	"pmpr/internal/tcsr"
 )
 
-// solveWindowBlocked runs one window's PageRank with propagation
-// blocking (Beamer, Asanović, Patterson, IPDPS'17 — cited in the paper
-// Sec. 2.2 as compatible with the postmortem scheme). Instead of
-// pulling along in-edges with random reads of z, contributions are
-// pushed in two phases: phase 1 streams the out-CSR once and appends
-// (destination, contribution) pairs into destination-range bins; phase
-// 2 drains each bin, touching only a cache-sized slice of the rank
-// vector. The random access pattern of SpMV becomes two mostly
-// sequential passes.
+// blockedKernel runs one window's PageRank with propagation blocking
+// (Beamer, Asanović, Patterson, IPDPS'17 — cited in the paper Sec. 2.2
+// as compatible with the postmortem scheme). Instead of pulling along
+// in-edges with random reads of z, contributions are pushed in two
+// phases: phase 1 streams the out-CSR once and appends (destination,
+// contribution) pairs into destination-range bins; phase 2 drains each
+// bin, touching only a cache-sized slice of the rank vector. The
+// random access pattern of SpMV becomes two mostly sequential passes.
 //
 // Bin capacities are the per-bin counts of active edges, which are
 // fixed for the window, so the buffers are sized once (from the
-// scratch arena) and reused across iterations; parallel phase 1 claims
+// scratch lease) and reused across iterations; parallel phase 1 claims
 // slots with atomic cursors. The bin-counting pass reduces through
 // per-lane slots — lane l owns counts [l*numBins, (l+1)*numBins) — so
 // its leaves neither allocate nor contend.
-func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64, sb *scratchBuf, loop forLoop) WindowResult {
-	n := int(mw.NumLocal())
-	st := computeWindowState(mw, w, e.cfg.Directed, loop, sb)
-	res := WindowResult{Window: w, ActiveVertices: st.na, mw: mw}
-	x := sb.getF64(n)
-	if st.na == 0 {
-		releaseWindowState(sb, st)
-		res.Converged = true
-		res.ranks = x
-		return res
-	}
-	res.UsedPartialInit = initVector(x, prev, st, loop, sb)
+type blockedKernel struct{}
 
-	ts, te := mw.Window(w)
-	opt := e.cfg.Opts
-	invNA := 1 / float64(st.na)
+func init() { RegisterKernel(blockedKernel{}) }
+
+// binShift gives 4096 vertices per destination bin, so phase 2 writes
+// stay within a cache-friendly stripe of y.
+const binShift = 12
+
+// blockedState is the kernel's per-batch working set; x and y swap
+// through the state pointer so the bound passes track them for free.
+type blockedState struct {
+	st           windowState
+	x, y, z      []float64
+	laneDangling []float64
+	laneDelta    []float64
+	binOffsets   []int64
+	binDst       []int32
+	binVal       []float64
+	cursors      []atomic.Int64
+	numBins      int
+	base         float64
+	invNA        float64
+	pass1        sched.Body
+	binPass      sched.Body
+	drainPass    sched.Body
+	empty        bool
+}
+
+// Name is the registry key.
+func (blockedKernel) Name() string { return "spmv-blocked" }
+
+// BatchWidth is 1: propagation blocking advances one window at a time.
+func (blockedKernel) BatchWidth(*Config) int { return 1 }
+
+// Init computes the window state, sizes the destination bins from the
+// window's active edge counts, and binds the three passes.
+func (blockedKernel) Init(b *Batch) {
+	view := b.views[0]
+	mw := view.MW
+	n := int(mw.NumLocal())
+	sb, loop := b.scratch, b.loop
+	st := computeWindowState(view, b.cfg.Directed, loop, sb)
+	res := &b.results[0]
+	res.ActiveVertices = st.na
+	s := &blockedState{st: st}
+	b.state = s
+	s.x = sb.getF64(n)
+	if st.na == 0 {
+		res.Converged = true
+		s.empty = true
+		return
+	}
+	res.UsedPartialInit = initVector(s.x, b.inits[0], st, loop, sb)
+
+	ts, te := view.Ts, view.Te
+	opt := b.cfg.Opts
+	s.invNA = 1 / float64(st.na)
 	lanes := sb.lanes()
 
-	// Destination bins: binWidth vertices each, so phase 2 writes stay
-	// within a cache-friendly stripe of y.
-	const binShift = 12 // 4096 vertices per bin
 	numBins := (n + (1 << binShift) - 1) >> binShift
 	if numBins == 0 {
 		numBins = 1
 	}
+	s.numBins = numBins
 
 	// Count active out-edges per bin (constant across iterations).
 	binOffsets := sb.getI64(numBins + 1)
@@ -71,27 +110,31 @@ func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64,
 		}
 	})
 	total := int64(0)
-	for b := 0; b < numBins; b++ {
-		binOffsets[b] = total
+	for bin := 0; bin < numBins; bin++ {
+		binOffsets[bin] = total
 		for l := 0; l < lanes; l++ {
-			total += laneBins[l*numBins+b]
+			total += laneBins[l*numBins+bin]
 		}
 	}
 	binOffsets[numBins] = total
 	sb.putI64(laneBins)
+	s.binOffsets = binOffsets
 
-	binDst := sb.getI32(int(total))
-	binVal := sb.getF64(int(total))
-	cursors := sb.getAtomicI64(numBins)
+	s.binDst = sb.getI32(int(total))
+	s.binVal = sb.getF64(int(total))
+	s.cursors = sb.getAtomicI64(numBins)
 
-	y := sb.getF64(n)
-	z := sb.getF64(n)
-	laneDangling := sb.getF64(lanes)
-	laneDelta := sb.getF64(lanes)
+	s.y = sb.getF64(n)
+	s.z = sb.getF64(n)
+	s.laneDangling = sb.getF64(lanes)
+	s.laneDelta = sb.getF64(lanes)
 	invdeg, active := st.invdeg, st.active
+	laneDangling, laneDelta := s.laneDangling, s.laneDelta
+	binDst, binVal, cursors := s.binDst, s.binVal, s.cursors
+	z := s.z
 
-	var base float64
-	pass1 := func(wk *sched.Worker, lo, hi int) {
+	s.pass1 = func(wk *sched.Worker, lo, hi int) {
+		x := s.x
 		var d float64
 		for u := lo; u < hi; u++ {
 			z[u] = x[u] * invdeg[u]
@@ -102,7 +145,7 @@ func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64,
 		laneDangling[laneOf(wk)] += d
 	}
 	// Phase 1: bin the contributions, streaming the out-CSR.
-	binPass := func(_ *sched.Worker, lo, hi int) {
+	s.binPass = func(_ *sched.Worker, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			zu := z[u]
 			if zu == 0 {
@@ -126,10 +169,12 @@ func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64,
 	}
 	// Phase 2: drain bins into y; bins own disjoint vertex stripes,
 	// so the pass is race-free when parallelized over bins.
-	drainPass := func(wk *sched.Worker, blo, bhi int) {
+	s.drainPass = func(wk *sched.Worker, blo, bhi int) {
+		x, y := s.x, s.y
+		base := s.base
 		var delta float64
-		for b := blo; b < bhi; b++ {
-			vLo := b << binShift
+		for bin := blo; bin < bhi; bin++ {
+			vLo := bin << binShift
 			vHi := vLo + (1 << binShift)
 			if vHi > n {
 				vHi = n
@@ -141,12 +186,12 @@ func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64,
 					y[v] = 0
 				}
 			}
-			// Note: a vertex can appear only up to cursors[b];
+			// Note: a vertex can appear only up to cursors[bin];
 			// z contributions of zero sources were skipped in
 			// phase 1, which is correct since they add nothing.
-			end := cursors[b].Load()
-			for s := binOffsets[b]; s < end; s++ {
-				y[binDst[s]] += (1 - opt.Alpha) * binVal[s]
+			end := cursors[bin].Load()
+			for slot := binOffsets[bin]; slot < end; slot++ {
+				y[binDst[slot]] += (1 - opt.Alpha) * binVal[slot]
 			}
 			for v := vLo; v < vHi; v++ {
 				delta += math.Abs(y[v] - x[v])
@@ -154,43 +199,57 @@ func (e *Engine) solveWindowBlocked(mw *tcsr.MultiWindow, w int, prev []float64,
 		}
 		laneDelta[laneOf(wk)] += delta
 	}
+	b.markLive(0)
+}
 
-	for it := 0; it < opt.MaxIter; it++ {
-		res.Iterations = it + 1
-		clear(laneDangling)
-		clear(laneDelta)
-		loop(n, pass1)
-		var dangling float64
-		for _, d := range laneDangling {
-			dangling += d
-		}
-		base = opt.Alpha*invNA + (1-opt.Alpha)*dangling*invNA
-
-		for b := 0; b < numBins; b++ {
-			cursors[b].Store(binOffsets[b])
-		}
-		loop(n, binPass)
-		loop(numBins, drainPass)
-		x, y = y, x
-		var delta float64
-		for _, d := range laneDelta {
-			delta += d
-		}
-		res.FinalResidual = delta
-		if delta < opt.Tol {
-			res.Converged = true
-			break
-		}
+// Iterate runs one blocked sweep: pass 1, the dangling reduction, the
+// bin pass behind reset cursors, the drain pass, and the vector swap.
+func (blockedKernel) Iterate(b *Batch) {
+	s := b.state.(*blockedState)
+	n := len(s.x)
+	clear(s.laneDangling)
+	clear(s.laneDelta)
+	b.loop(n, s.pass1)
+	var dangling float64
+	for _, d := range s.laneDangling {
+		dangling += d
 	}
-	sb.putF64(y)
-	sb.putF64(z)
-	sb.putF64(laneDangling)
-	sb.putF64(laneDelta)
-	sb.putF64(binVal)
-	sb.putI32(binDst)
-	sb.putI64(binOffsets)
-	sb.putAtomicI64(cursors)
-	releaseWindowState(sb, st)
-	res.ranks = x
-	return res
+	alpha := b.cfg.Opts.Alpha
+	s.base = alpha*s.invNA + (1-alpha)*dangling*s.invNA
+
+	for bin := 0; bin < s.numBins; bin++ {
+		s.cursors[bin].Store(s.binOffsets[bin])
+	}
+	b.loop(n, s.binPass)
+	b.loop(s.numBins, s.drainPass)
+	s.x, s.y = s.y, s.x
+}
+
+// Residual sums the lane deltas of the last sweep.
+func (blockedKernel) Residual(b *Batch, _ int) float64 {
+	s := b.state.(*blockedState)
+	var delta float64
+	for _, d := range s.laneDelta {
+		delta += d
+	}
+	return delta
+}
+
+// Finalize publishes the rank vector and returns all working memory.
+func (blockedKernel) Finalize(b *Batch) {
+	s := b.state.(*blockedState)
+	sb := b.scratch
+	if !s.empty {
+		sb.putF64(s.y)
+		sb.putF64(s.z)
+		sb.putF64(s.laneDangling)
+		sb.putF64(s.laneDelta)
+		sb.putF64(s.binVal)
+		sb.putI32(s.binDst)
+		sb.putI64(s.binOffsets)
+		sb.putAtomicI64(s.cursors)
+	}
+	releaseWindowState(sb, s.st)
+	b.results[0].ranks = s.x
+	b.state = nil
 }

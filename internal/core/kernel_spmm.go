@@ -1,154 +1,71 @@
 package core
 
 import (
-	"fmt"
 	"math"
-	"time"
 
 	"pmpr/internal/sched"
 	"pmpr/internal/tcsr"
 )
 
-// solveMW runs the SpMM-inspired kernel (paper Sec. 4.4) over one
-// multi-window graph, writing a WindowResult for each of its windows
-// into out (indexed by global window id).
+// spmmKernel advances the PageRank vectors of a whole batch of windows
+// (all in one multi-window graph) simultaneously — the SpMM-inspired
+// kernel of paper Sec. 4.4. Vectors are interleaved — entry (v, k)
+// lives at v*K+k — so the random accesses of the pull pass hit one
+// cache line for all K windows, which is the SpMM effect the paper
+// exploits.
 //
-// The windows of the multi-window graph are split into VectorLen
-// contiguous regions. Batch j gathers the j-th window of every region,
-// so one sweep of the shared temporal CSR advances up to VectorLen
-// PageRank vectors, and every batch after the first warm-starts from
-// its region predecessor (which is the previous global window).
-//
-// All staging memory (region table, rank staging, batch descriptors)
-// comes from the worker's scratch buffer. Under Config.DiscardRanks a
-// batch's rank vectors are recycled as soon as the next batch has
-// consumed them for partial initialization — including the final
-// batch's vectors after the loop, which earlier versions leaked at K
-// vectors per multi-window graph.
-func (e *Engine) solveMW(mwIdx int, mw *tcsr.MultiWindow, wid int, loop forLoop, out []WindowResult, mwSweeps []int64) {
-	W := mw.NumWindows()
-	if W == 0 {
-		return
-	}
-	sb, release := e.arena.acquire(wid)
-	defer release()
-	K := e.cfg.VectorLen
-	if K > W {
-		K = W
-	}
-	base := W / K
-	rem := W % K
-	regionStart := sb.getInt(K + 1)
-	for r := 0; r < K; r++ {
-		size := base
-		if r < rem {
-			size++
-		}
-		regionStart[r+1] = regionStart[r] + size
-	}
-	numBatches := base
-	if rem > 0 {
-		numBatches++
-	}
+// Working memory is drawn from the batch's scratch lease and returned
+// in Finalize; only the K per-window rank vectors stay checked out
+// (the driver recycles them once consumed). Cross-leaf reductions use
+// lane-indexed K-wide slots — lane l owns [l*K, (l+1)*K) — summed
+// serially between passes, so the leaves of the steady-state iteration
+// loop neither allocate nor touch atomics.
+type spmmKernel struct{}
 
-	// ranksByOffset[o] is the rank vector of window mw.WinLo+o, kept
-	// until batch o+1 has consumed it for partial initialization.
-	ranksByOffset := sb.getVecs(W)
-	winsBuf := sb.getInt(K)
-	initsBuf := sb.getVecs(K)
+func init() { RegisterKernel(spmmKernel{}) }
 
-	for j := 0; j < numBatches; j++ {
-		wins := winsBuf[:0]
-		inits := initsBuf[:0]
-		for r := 0; r < K; r++ {
-			off := regionStart[r] + j
-			if off >= regionStart[r+1] {
-				continue
-			}
-			wins = append(wins, mw.WinLo+off)
-			if j > 0 && e.cfg.PartialInit {
-				inits = append(inits, ranksByOffset[off-1])
-			} else {
-				inits = append(inits, nil)
-			}
-		}
-		t0 := time.Now()
-		batch := e.solveBatch(mw, wins, inits, sb, loop)
-		dur := time.Since(t0)
-		var sweeps int64
-		for s, w := range wins {
-			if it := int64(batch[s].Iterations); it > sweeps {
-				sweeps = it
-			}
-			batch[s].WallSeconds = dur.Seconds()
-			batch[s].Worker = wid
-			e.validateWindow(&batch[s])
-			ranksByOffset[w-mw.WinLo] = batch[s].ranks
-			if e.cfg.DiscardRanks {
-				batch[s].ranks = nil
-			}
-			out[w] = batch[s]
-		}
-		sb.putResults(batch)
-		// One SpMM sweep of the shared CSR advances every live window of
-		// the batch, so the batch's sweep count is its iteration maximum.
-		mwSweeps[mwIdx] += sweeps
-		if e.trace != nil {
-			e.trace.Complete(fmt.Sprintf("mw %d batch %d", mwIdx, j), "batch", traceTID(wid), t0, dur,
-				map[string]interface{}{
-					"mw": mwIdx, "batch": j, "windows": len(wins),
-					"first_window": wins[0], "sweeps": sweeps,
-				})
-		}
-		if e.cfg.DiscardRanks && j > 0 {
-			// Batch j-1's vectors have been consumed; recycle them.
-			for r := 0; r < K; r++ {
-				if off := regionStart[r] + j - 1; off < regionStart[r+1] {
-					sb.putF64(ranksByOffset[off])
-					ranksByOffset[off] = nil
-				}
-			}
-		}
-	}
-	if e.cfg.DiscardRanks {
-		// The final batch's vectors have no consumer; recycle whatever
-		// is still staged so a multi-window graph does not hold K rank
-		// vectors past its solve.
-		for off := range ranksByOffset {
-			if ranksByOffset[off] != nil {
-				sb.putF64(ranksByOffset[off])
-				ranksByOffset[off] = nil
-			}
-		}
-	}
-	sb.putVecs(ranksByOffset)
-	sb.putVecs(initsBuf)
-	sb.putInt(winsBuf)
-	sb.putInt(regionStart)
+// spmmState is the kernel's per-batch working set; the interleaved x
+// and y swap through the state pointer so the bound passes track them
+// for free.
+type spmmState struct {
+	tsK, teK     []int64
+	invdeg       []float64
+	active       []bool
+	na           []int32
+	x, y, z      []float64
+	laneDangling []float64
+	laneDelta    []float64
+	laneAcc      []float64
+	baseK        []float64
+	pass1, pass2 sched.Body
 }
 
-// solveBatch advances the PageRank vectors of the given windows (all in
-// mw) simultaneously. Vectors are interleaved — entry (v, k) lives at
-// v*K+k — so the random accesses of the pull pass hit one cache line
-// for all K windows, which is the SpMM effect the paper exploits.
-//
-// Working memory is drawn from sb and returned before the function
-// exits; only the K per-window rank vectors and the returned result
-// slice stay checked out (the caller recycles both). Cross-leaf
-// reductions use lane-indexed K-wide slots — lane l owns
-// [l*K, (l+1)*K) — summed serially between passes, so the leaves of
-// the steady-state iteration loop neither allocate nor touch atomics.
-func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64, sb *scratchBuf, loop forLoop) []WindowResult {
+// Name is the registry key.
+func (spmmKernel) Name() string { return "spmm" }
+
+// BatchWidth is Config.VectorLen: the number of windows one sweep of
+// the shared temporal CSR advances.
+func (spmmKernel) BatchWidth(cfg *Config) int { return cfg.VectorLen }
+
+// Init stages the interleaved window states and starting vectors (Eq. 4
+// per slot where a predecessor vector is supplied, uniform otherwise),
+// binds the two sweep passes, and marks non-empty slots live.
+func (spmmKernel) Init(b *Batch) {
+	mw := b.mw
 	n := int(mw.NumLocal())
-	K := len(wins)
-	opt := e.cfg.Opts
+	K := b.width()
+	sb, loop := b.scratch, b.loop
+	opt := b.cfg.Opts
 	lanes := sb.lanes()
+	s := &spmmState{}
+	b.state = s
 
 	tsK := sb.getI64(K)
 	teK := sb.getI64(K)
-	for k, w := range wins {
-		tsK[k], teK[k] = mw.Window(w)
+	for k := range b.views {
+		tsK[k], teK[k] = b.views[k].Ts, b.views[k].Te
 	}
+	s.tsK, s.teK = tsK, teK
 
 	// Per-window inverse out-degrees, interleaved. First accumulate
 	// counts, then invert in place.
@@ -178,10 +95,12 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 			}
 		}
 	})
+	s.invdeg = invdeg
 
 	// Activity flags and |V_i| per window; counts reduce via lanes.
 	active := sb.getBool(n * K)
 	laneCnt := sb.getI32(lanes * K)
+	directed := b.cfg.Directed
 	loop(n, func(wk *sched.Worker, lo, hi int) {
 		cnt := laneCnt[laneOf(wk)*K:][:K]
 		for v := lo; v < hi; v++ {
@@ -190,7 +109,7 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 				if invdeg[v*K+k] > 0 {
 					active[v*K+k] = true
 					cnt[k]++
-				} else if e.cfg.Directed {
+				} else if directed {
 					pending++
 				}
 			}
@@ -216,28 +135,29 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 			}
 		}
 	})
+	s.active = active
 	na := sb.getI32(K)
-	results := sb.getResults(K)
-	liveBuf := sb.getInt(K)
-	live := liveBuf[:0]
 	for k := 0; k < K; k++ {
 		for l := 0; l < lanes; l++ {
 			na[k] += laneCnt[l*K+k]
 		}
-		results[k] = WindowResult{Window: wins[k], ActiveVertices: na[k], mw: mw}
+		b.results[k].ActiveVertices = na[k]
 		if na[k] > 0 {
-			live = append(live, k)
+			b.markLive(k)
 		} else {
-			results[k].Converged = true
+			b.results[k].Converged = true
 		}
 	}
 	sb.putI32(laneCnt)
+	s.na = na
 
 	// Initialization: Eq. 4 per window slot where a predecessor vector
 	// is supplied, uniform otherwise.
 	x := sb.getF64(n * K)
 	y := sb.getF64(n * K)
 	z := sb.getF64(n * K)
+	s.x, s.y, s.z = x, y, z
+	inits := b.inits
 	laneSharedN := sb.getI64(lanes * K)
 	laneSharedSum := sb.getF64(lanes * K)
 	loop(n, func(wk *sched.Worker, lo, hi int) {
@@ -270,7 +190,7 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 		if inits[k] != nil && sh > 0 && sm > 0 {
 			scale[k] = float64(sh) / float64(na[k]) / sm
 			partial[k] = true
-			results[k].UsedPartialInit = true
+			b.results[k].UsedPartialInit = true
 		}
 	}
 	sb.putI64(laneSharedN)
@@ -294,23 +214,28 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 	laneDelta := sb.getF64(lanes * K)
 	laneAcc := sb.getF64(lanes * K)
 	baseK := sb.getF64(K)
-	isLive := sb.getBool(K)
+	s.laneDangling, s.laneDelta, s.laneAcc, s.baseK = laneDangling, laneDelta, laneAcc, baseK
+	isLive := b.isLive
 
 	// Pass 1 (by source): scaled contributions + dangling mass.
-	pass1 := func(wk *sched.Worker, lo, hi int) {
+	s.pass1 = func(wk *sched.Worker, lo, hi int) {
+		xv := s.x
+		live := b.live
 		d := laneDangling[laneOf(wk)*K:][:K]
 		for u := lo; u < hi; u++ {
 			for _, k := range live {
-				z[u*K+k] = x[u*K+k] * invdeg[u*K+k]
+				z[u*K+k] = xv[u*K+k] * invdeg[u*K+k]
 				if active[u*K+k] && invdeg[u*K+k] == 0 {
-					d[k] += x[u*K+k]
+					d[k] += xv[u*K+k]
 				}
 			}
 		}
 	}
 	// Pass 2 (by target): one sweep of the shared CSR advances all
 	// live windows.
-	pass2 := func(wk *sched.Worker, lo, hi int) {
+	s.pass2 = func(wk *sched.Worker, lo, hi int) {
+		xv, yv := s.x, s.y
+		live := b.live
 		lane := laneOf(wk)
 		acc := laneAcc[lane*K:][:K]
 		dl := laneDelta[lane*K:][:K]
@@ -338,78 +263,85 @@ func (e *Engine) solveBatch(mw *tcsr.MultiWindow, wins []int, inits [][]float64,
 				if !isLive[k] {
 					// Keep converged windows' entries current so the
 					// array swap does not resurrect stale iterates.
-					y[v*K+k] = x[v*K+k]
+					yv[v*K+k] = xv[v*K+k]
 					continue
 				}
 				if !active[v*K+k] {
-					y[v*K+k] = 0
+					yv[v*K+k] = 0
 					continue
 				}
 				nv := baseK[k] + (1-opt.Alpha)*acc[k]
-				dl[k] += math.Abs(nv - x[v*K+k])
-				y[v*K+k] = nv
+				dl[k] += math.Abs(nv - xv[v*K+k])
+				yv[v*K+k] = nv
 			}
 		}
 	}
 
-	for it := 0; it < opt.MaxIter && len(live) > 0; it++ {
-		clear(isLive)
-		clear(laneDangling)
-		clear(laneDelta)
-		for _, k := range live {
-			isLive[k] = true
-			results[k].Iterations = it + 1
-		}
-		loop(n, pass1)
-		for _, k := range live {
-			var d float64
-			for l := 0; l < lanes; l++ {
-				d += laneDangling[l*K+k]
-			}
-			invNA := 1 / float64(na[k])
-			baseK[k] = opt.Alpha*invNA + (1-opt.Alpha)*d*invNA
-		}
-		loop(n, pass2)
-		x, y = y, x
-		next := live[:0]
-		for _, k := range live {
-			var delta float64
-			for l := 0; l < lanes; l++ {
-				delta += laneDelta[l*K+k]
-			}
-			results[k].FinalResidual = delta
-			if delta < opt.Tol {
-				results[k].Converged = true
-			} else {
-				next = append(next, k)
-			}
-		}
-		live = next
-	}
-
-	for k := 0; k < K; k++ {
-		ranks := sb.getF64(n)
-		for v := 0; v < n; v++ {
-			ranks[v] = x[v*K+k]
-		}
-		results[k].ranks = ranks
-	}
-	sb.putF64(x)
-	sb.putF64(y)
-	sb.putF64(z)
-	sb.putF64(invdeg)
-	sb.putBool(active)
-	sb.putI64(tsK)
-	sb.putI64(teK)
-	sb.putI32(na)
-	sb.putInt(liveBuf)
 	sb.putF64(scale)
 	sb.putF64(uniform)
 	sb.putBool(partial)
-	sb.putF64(laneDangling)
-	sb.putF64(laneDelta)
-	sb.putF64(laneAcc)
-	sb.putF64(baseK)
-	sb.putBool(isLive)
-	return results
+}
+
+// Iterate runs one shared-CSR sweep advancing all live slots: pass 1,
+// the per-slot dangling reductions, pass 2, and the vector swap.
+func (spmmKernel) Iterate(b *Batch) {
+	s := b.state.(*spmmState)
+	K := b.width()
+	n := int(b.mw.NumLocal())
+	lanes := b.scratch.lanes()
+	alpha := b.cfg.Opts.Alpha
+	clear(s.laneDangling)
+	clear(s.laneDelta)
+	b.loop(n, s.pass1)
+	for _, k := range b.live {
+		var d float64
+		for l := 0; l < lanes; l++ {
+			d += s.laneDangling[l*K+k]
+		}
+		invNA := 1 / float64(s.na[k])
+		s.baseK[k] = alpha*invNA + (1-alpha)*d*invNA
+	}
+	b.loop(n, s.pass2)
+	s.x, s.y = s.y, s.x
+}
+
+// Residual sums slot's lane deltas of the last sweep.
+func (spmmKernel) Residual(b *Batch, slot int) float64 {
+	s := b.state.(*spmmState)
+	K := b.width()
+	lanes := b.scratch.lanes()
+	var delta float64
+	for l := 0; l < lanes; l++ {
+		delta += s.laneDelta[l*K+slot]
+	}
+	return delta
+}
+
+// Finalize de-interleaves each slot's rank vector into its result and
+// returns all working memory.
+func (spmmKernel) Finalize(b *Batch) {
+	s := b.state.(*spmmState)
+	sb := b.scratch
+	n := int(b.mw.NumLocal())
+	K := b.width()
+	for k := 0; k < K; k++ {
+		ranks := sb.getF64(n)
+		for v := 0; v < n; v++ {
+			ranks[v] = s.x[v*K+k]
+		}
+		b.results[k].ranks = ranks
+	}
+	sb.putF64(s.x)
+	sb.putF64(s.y)
+	sb.putF64(s.z)
+	sb.putF64(s.invdeg)
+	sb.putBool(s.active)
+	sb.putI64(s.tsK)
+	sb.putI64(s.teK)
+	sb.putI32(s.na)
+	sb.putF64(s.laneDangling)
+	sb.putF64(s.laneDelta)
+	sb.putF64(s.laneAcc)
+	sb.putF64(s.baseK)
+	b.state = nil
 }

@@ -17,15 +17,16 @@ type windowState struct {
 	na     int32
 }
 
-// computeWindowState fills the state for global window w of mw with
+// computeWindowState fills the state for the window of view with
 // buffers drawn from sb. The degree pass runs over the out-CSR
 // partitioned by source vertex; the activity pass runs over the in-CSR
 // partitioned by target vertex, so both are race-free under loop.
 // Cross-leaf counting reduces through per-lane slots instead of an
 // atomic, keeping the leaves allocation- and contention-free.
-func computeWindowState(mw *tcsr.MultiWindow, w int, directed bool, loop forLoop, sb *scratchBuf) windowState {
+func computeWindowState(view tcsr.SolveView, directed bool, loop forLoop, sb *scratchBuf) windowState {
+	mw := view.MW
 	n := int(mw.NumLocal())
-	ts, te := mw.Window(w)
+	ts, te := view.Ts, view.Te
 	st := windowState{
 		invdeg: sb.getF64(n),
 		active: sb.getBool(n),
@@ -163,42 +164,74 @@ func initVector(x, prev []float64, st windowState, loop forLoop, sb *scratchBuf)
 	return true
 }
 
-// solveWindow runs the SpMV-style PageRank on global window w of mw.
-// prev, when non-nil, is the predecessor window's rank vector in the
-// same multi-window local id space and enables partial initialization.
-// All working memory comes from sb; only the returned rank vector
-// stays checked out (the caller recycles it once consumed, see
-// spmvRange). The iteration loop allocates nothing: both loop bodies
-// are bound once before it and cross-leaf sums reduce via lanes.
-func (e *Engine) solveWindow(mw *tcsr.MultiWindow, w int, prev []float64, sb *scratchBuf, loop forLoop) WindowResult {
-	n := int(mw.NumLocal())
-	st := computeWindowState(mw, w, e.cfg.Directed, loop, sb)
-	res := WindowResult{Window: w, ActiveVertices: st.na, mw: mw}
-	x := sb.getF64(n)
-	if st.na == 0 {
-		releaseWindowState(sb, st)
-		res.Converged = true
-		res.ranks = x
-		return res
-	}
-	res.UsedPartialInit = initVector(x, prev, st, loop, sb)
+// spmvKernel is the SpMV-style PageRank kernel: one window per batch,
+// pulled along active in-runs. prev ranks, when staged by the driver,
+// enable the partial initialization of Eq. 4. All working memory comes
+// from the batch's scratch lease; only the rank vector stays checked
+// out after Finalize (the driver recycles it once consumed). The
+// iteration loop allocates nothing: both loop bodies are bound once in
+// Init and cross-leaf sums reduce via lanes.
+type spmvKernel struct{}
 
-	y := sb.getF64(n)
-	z := sb.getF64(n)
+func init() { RegisterKernel(spmvKernel{}) }
+
+// spmvState is the kernel's per-batch working set. x and y live here
+// (not in closure variables) so the swap at the end of each iteration
+// retargets the passes through the state pointer for free.
+type spmvState struct {
+	st           windowState
+	x, y, z      []float64
+	laneDangling []float64
+	laneDelta    []float64
+	base         float64
+	invNA        float64
+	pass1, pass2 sched.Body
+	empty        bool
+}
+
+// Name is the registry key.
+func (spmvKernel) Name() string { return "spmv" }
+
+// BatchWidth is 1: SpMV advances one window at a time.
+func (spmvKernel) BatchWidth(*Config) int { return 1 }
+
+// Init computes the window state, draws the iteration vectors, and
+// binds the two passes.
+func (spmvKernel) Init(b *Batch) {
+	view := b.views[0]
+	mw := view.MW
+	n := int(mw.NumLocal())
+	sb, loop := b.scratch, b.loop
+	st := computeWindowState(view, b.cfg.Directed, loop, sb)
+	res := &b.results[0]
+	res.ActiveVertices = st.na
+	s := &spmvState{st: st}
+	b.state = s
+	s.x = sb.getF64(n)
+	if st.na == 0 {
+		res.Converged = true
+		s.empty = true
+		return
+	}
+	res.UsedPartialInit = initVector(s.x, b.inits[0], st, loop, sb)
+
+	s.y = sb.getF64(n)
+	s.z = sb.getF64(n)
 	lanes := sb.lanes()
-	laneDangling := sb.getF64(lanes)
-	laneDelta := sb.getF64(lanes)
-	ts, te := mw.Window(w)
-	opt := e.cfg.Opts
-	invNA := 1 / float64(st.na)
+	s.laneDangling = sb.getF64(lanes)
+	s.laneDelta = sb.getF64(lanes)
+	s.invNA = 1 / float64(st.na)
+
+	ts, te := view.Ts, view.Te
+	opt := b.cfg.Opts
 	invdeg, active := st.invdeg, st.active
 	inRow, inCol, inTime := mw.InRow, mw.InCol, mw.InTime
+	laneDangling, laneDelta := s.laneDangling, s.laneDelta
 
 	// Pass 1 (by source): scale ranks by inverse out-degree and collect
-	// dangling mass. The closures capture x and y as variables, so the
-	// swap at the end of each iteration retargets them for free.
-	var base float64
-	pass1 := func(wk *sched.Worker, lo, hi int) {
+	// dangling mass.
+	s.pass1 = func(wk *sched.Worker, lo, hi int) {
+		x, z := s.x, s.z
 		var d float64
 		for u := lo; u < hi; u++ {
 			z[u] = x[u] * invdeg[u]
@@ -209,7 +242,9 @@ func (e *Engine) solveWindow(mw *tcsr.MultiWindow, w int, prev []float64, sb *sc
 		laneDangling[laneOf(wk)] += d
 	}
 	// Pass 2 (by target): pull contributions along active runs.
-	pass2 := func(wk *sched.Worker, lo, hi int) {
+	s.pass2 = func(wk *sched.Worker, lo, hi int) {
+		x, y, z := s.x, s.y, s.z
+		base := s.base
 		var delta float64
 		for v := lo; v < hi; v++ {
 			if !active[v] {
@@ -235,34 +270,48 @@ func (e *Engine) solveWindow(mw *tcsr.MultiWindow, w int, prev []float64, sb *sc
 		}
 		laneDelta[laneOf(wk)] += delta
 	}
+	b.markLive(0)
+}
 
-	for it := 0; it < opt.MaxIter; it++ {
-		res.Iterations = it + 1
-		clear(laneDangling)
-		clear(laneDelta)
-		loop(n, pass1)
-		var dangling float64
-		for _, d := range laneDangling {
-			dangling += d
-		}
-		base = opt.Alpha*invNA + (1-opt.Alpha)*dangling*invNA
-		loop(n, pass2)
-		x, y = y, x
-		var delta float64
-		for _, d := range laneDelta {
-			delta += d
-		}
-		res.FinalResidual = delta
-		if delta < opt.Tol {
-			res.Converged = true
-			break
-		}
+// Iterate runs one power-iteration sweep: pass 1, the dangling
+// reduction, pass 2, and the vector swap.
+func (spmvKernel) Iterate(b *Batch) {
+	s := b.state.(*spmvState)
+	n := len(s.x)
+	clear(s.laneDangling)
+	clear(s.laneDelta)
+	b.loop(n, s.pass1)
+	var dangling float64
+	for _, d := range s.laneDangling {
+		dangling += d
 	}
-	sb.putF64(y)
-	sb.putF64(z)
-	sb.putF64(laneDangling)
-	sb.putF64(laneDelta)
-	releaseWindowState(sb, st)
-	res.ranks = x
-	return res
+	alpha := b.cfg.Opts.Alpha
+	s.base = alpha*s.invNA + (1-alpha)*dangling*s.invNA
+	b.loop(n, s.pass2)
+	s.x, s.y = s.y, s.x
+}
+
+// Residual sums the lane deltas of the last sweep.
+func (spmvKernel) Residual(b *Batch, _ int) float64 {
+	s := b.state.(*spmvState)
+	var delta float64
+	for _, d := range s.laneDelta {
+		delta += d
+	}
+	return delta
+}
+
+// Finalize publishes the rank vector and returns all working memory.
+func (spmvKernel) Finalize(b *Batch) {
+	s := b.state.(*spmvState)
+	sb := b.scratch
+	if !s.empty {
+		sb.putF64(s.y)
+		sb.putF64(s.z)
+		sb.putF64(s.laneDangling)
+		sb.putF64(s.laneDelta)
+	}
+	releaseWindowState(sb, s.st)
+	b.results[0].ranks = s.x
+	b.state = nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"pmpr/internal/sched"
 )
 
@@ -20,8 +22,12 @@ func serialLoop(n int, body sched.Body) {
 	}
 }
 
-func workerLoop(w *sched.Worker, grain int, part sched.Partitioner) forLoop {
+// workerLoop forks vertex loops on w's pool. ctx (nil = never
+// canceled) threads the run's cancellation into every nested loop, so
+// a canceled solve stops splitting and skips remaining spans at the
+// next steal boundary even inside a kernel pass.
+func workerLoop(ctx context.Context, w *sched.Worker, grain int, part sched.Partitioner) forLoop {
 	return func(n int, body sched.Body) {
-		w.ParallelFor(n, grain, part, body)
+		w.ParallelForCtx(ctx, n, grain, part, body)
 	}
 }

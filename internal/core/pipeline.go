@@ -1,0 +1,289 @@
+// This file defines the staged solve pipeline the Engine orchestrates:
+//
+//	build   — temporal CSR construction + multi-window partitioning
+//	plan    — kernel resolution, batch layout, worker layout
+//	solve   — kernel execution on the pool (solve.go)
+//	publish — Series + RunReport assembly
+//
+// Each stage is a value with typed inputs and outputs, so stages can be
+// re-run, swapped, or cached independently: build once, plan/solve many
+// times with different kernels or configs, publish only when a report
+// is wanted.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pmpr/internal/events"
+	"pmpr/internal/invariant"
+	"pmpr/internal/obs"
+	"pmpr/internal/tcsr"
+)
+
+// BuildStage turns an event log into the postmortem representation:
+// the temporal CSR partitioned into multi-window graphs, optionally
+// validated against the structural invariant catalog.
+type BuildStage struct{}
+
+// BuildInput is what the build stage consumes.
+type BuildInput struct {
+	// Log is the temporal edge log to represent.
+	Log *events.Log
+	// Spec is the sliding-window sequence.
+	Spec events.WindowSpec
+	// Cfg supplies NumMultiWindows, BalancedPartition, Directed, and
+	// Validate; the solve-side fields are ignored here.
+	Cfg Config
+}
+
+// BuildOutput is the build stage's product.
+type BuildOutput struct {
+	// Temporal is the built representation.
+	Temporal *tcsr.Temporal
+	// Seconds is the build wall time (reported as phase "tcsr_build").
+	Seconds float64
+}
+
+// Run builds (and when Cfg.Validate is set, validates) the temporal
+// representation.
+func (BuildStage) Run(in BuildInput) (BuildOutput, error) {
+	if err := in.Cfg.Check(); err != nil {
+		return BuildOutput{}, err
+	}
+	build := tcsr.Build
+	if in.Cfg.BalancedPartition {
+		build = tcsr.BuildBalanced
+	}
+	start := time.Now()
+	tg, err := build(in.Log, in.Spec, in.Cfg.NumMultiWindows, in.Cfg.Directed)
+	if err != nil {
+		return BuildOutput{}, err
+	}
+	if in.Cfg.Validate {
+		if err := invariant.CheckTemporal(tg); err != nil {
+			return BuildOutput{}, err
+		}
+		if err := invariant.CheckCoverage(tg, in.Log); err != nil {
+			return BuildOutput{}, err
+		}
+	}
+	return BuildOutput{Temporal: tg, Seconds: time.Since(start).Seconds()}, nil
+}
+
+// PlanStage resolves a configuration against a built representation:
+// it looks the kernel up in the registry, decides the batch width, and
+// precomputes each multi-window graph's region/batch layout so the
+// solve stage's hot path does no layout arithmetic.
+type PlanStage struct{}
+
+// PlanInput is what the plan stage consumes.
+type PlanInput struct {
+	// Temporal is the build stage's product.
+	Temporal *tcsr.Temporal
+	// Cfg is the full solve configuration.
+	Cfg Config
+	// Workers is the pool size the plan lays work out for (0 = serial).
+	Workers int
+}
+
+// SolveUnit is one multi-window graph's precomputed batch layout. For
+// width-1 kernels units are not materialized (the window-chain driver
+// needs no layout); for the SpMM kernel a unit's windows are split into
+// K contiguous regions and batch j gathers the j-th window of every
+// region, so every batch after the first warm-starts from its region
+// predecessors.
+type SolveUnit struct {
+	// MW is the multi-window graph this unit solves.
+	MW *tcsr.MultiWindow
+	// K is the unit's batch width: min(plan width, window count).
+	K int
+	// RegionStart[r] is the window offset (within MW) where region r
+	// starts; RegionStart[K] is the window count.
+	RegionStart []int
+	// NumBatches is ceil(windows / K).
+	NumBatches int
+}
+
+// SolvePlan is the plan stage's product: everything the solve stage
+// needs, precomputed and immutable, so one plan can be solved many
+// times (and concurrently on distinct SolveStages).
+type SolvePlan struct {
+	// Cfg is the configuration the plan was laid out for.
+	Cfg Config
+	// Temporal is the representation being solved.
+	Temporal *tcsr.Temporal
+	// Kernel is the registry-resolved kernel implementation.
+	Kernel Kernel
+	// Width is the kernel's batch width under Cfg (>= 1).
+	Width int
+	// Units is the per-multi-window batch layout; empty when Width is 1.
+	Units []SolveUnit
+	// Windows is the total window count.
+	Windows int
+	// Workers is the pool size the plan assumed (0 = serial).
+	Workers int
+	// Seconds is the planning wall time (reported as phase "plan").
+	Seconds float64
+}
+
+// Run lays out the solve. It fails when Cfg is invalid, Temporal is
+// nil, or Cfg.Kernel has no registered implementation.
+func (PlanStage) Run(in PlanInput) (*SolvePlan, error) {
+	if err := in.Cfg.Check(); err != nil {
+		return nil, err
+	}
+	if in.Temporal == nil {
+		return nil, errors.New("core: nil temporal representation")
+	}
+	start := time.Now()
+	name := in.Cfg.Kernel.String()
+	kern, ok := LookupKernel(name)
+	if !ok {
+		return nil, fmt.Errorf("core: no kernel registered under %q (have %v)", name, RegisteredKernels())
+	}
+	cfg := in.Cfg
+	width := kern.BatchWidth(&cfg)
+	if width < 1 {
+		width = 1
+	}
+	p := &SolvePlan{
+		Cfg:      cfg,
+		Temporal: in.Temporal,
+		Kernel:   kern,
+		Width:    width,
+		Windows:  in.Temporal.Spec.Count,
+		Workers:  in.Workers,
+	}
+	if width > 1 {
+		p.Units = make([]SolveUnit, len(in.Temporal.MWs))
+		for i, mw := range in.Temporal.MWs {
+			p.Units[i] = planUnit(mw, width)
+		}
+	}
+	p.Seconds = time.Since(start).Seconds()
+	return p, nil
+}
+
+// planUnit splits mw's windows into min(width, W) contiguous regions of
+// near-equal size (the first W mod K regions get the extra window).
+func planUnit(mw *tcsr.MultiWindow, width int) SolveUnit {
+	W := mw.NumWindows()
+	u := SolveUnit{MW: mw}
+	if W == 0 {
+		return u
+	}
+	K := width
+	if K > W {
+		K = W
+	}
+	base := W / K
+	rem := W % K
+	u.K = K
+	u.RegionStart = make([]int, K+1)
+	for r := 0; r < K; r++ {
+		size := base
+		if r < rem {
+			size++
+		}
+		u.RegionStart[r+1] = u.RegionStart[r] + size
+	}
+	u.NumBatches = base
+	if rem > 0 {
+		u.NumBatches++
+	}
+	return u
+}
+
+// PublishStage assembles the user-facing Series and its RunReport from
+// a solve output. It is a pure aggregation over the per-window results
+// and the counter deltas the solve stage collected.
+type PublishStage struct{}
+
+// PublishInput is what the publish stage consumes.
+type PublishInput struct {
+	// Plan is the plan the solve executed.
+	Plan *SolvePlan
+	// Solve is the solve stage's output.
+	Solve SolveOutput
+	// BuildSeconds is the build stage's wall time (phase "tcsr_build").
+	BuildSeconds float64
+}
+
+// Run assembles the Series with its observability rollup.
+func (PublishStage) Run(in PublishInput) (*Series, error) {
+	plan := in.Plan
+	results := in.Solve.Results
+	mwSweeps := in.Solve.MWSweeps
+	rep := &RunReport{
+		Build:       obs.CollectBuildInfo(),
+		Config:      plan.Cfg.Info(),
+		Workers:     plan.Workers,
+		Windows:     len(results),
+		MWSweeps:    mwSweeps,
+		WallSeconds: in.Solve.Seconds,
+	}
+	rep.SetPhase("tcsr_build", in.BuildSeconds)
+	rep.SetPhase("plan", plan.Seconds)
+	rep.SetPhase("solve", in.Solve.Seconds)
+
+	// Warm-start eligibility: every window whose predecessor is in the
+	// same multi-window graph, when partial initialization is on.
+	if plan.Cfg.PartialInit {
+		for _, mw := range plan.Temporal.MWs {
+			if n := mw.NumWindows(); n > 1 {
+				rep.WarmStart.Eligible += n - 1
+			}
+		}
+	}
+
+	rep.WindowWallSeconds = make([]float64, len(results))
+	rep.WindowWorkers = make([]int, len(results))
+	var resSum float64
+	for i := range results {
+		r := &results[i]
+		rep.TotalIterations += r.Iterations
+		if r.UsedPartialInit {
+			rep.WarmStart.Hits++
+		}
+		if !r.Converged {
+			rep.Residuals.Unconverged++
+		}
+		if r.FinalResidual > rep.Residuals.Max {
+			rep.Residuals.Max = r.FinalResidual
+		}
+		resSum += r.FinalResidual
+		rep.WindowWallSeconds[i] = r.WallSeconds
+		rep.WindowWorkers[i] = r.Worker
+	}
+	if rep.WarmStart.Eligible > 0 {
+		rep.WarmStart.HitRate = float64(rep.WarmStart.Hits) / float64(rep.WarmStart.Eligible)
+	}
+	if len(results) > 0 {
+		rep.Residuals.Mean = resSum / float64(len(results))
+	}
+	// Width-1 kernels sweep the CSR once per window iteration; the
+	// batched driver filled mwSweeps with per-batch maxima already.
+	if plan.Width == 1 {
+		for mwIdx, mw := range plan.Temporal.MWs {
+			var s int64
+			for w := mw.WinLo; w < mw.WinHi; w++ {
+				s += int64(results[w].Iterations)
+			}
+			mwSweeps[mwIdx] = s
+		}
+	}
+	for _, s := range mwSweeps {
+		rep.TotalSweeps += s
+	}
+	rep.Sched = in.Solve.Sched
+	rep.Scratch = in.Solve.Scratch
+	return &Series{
+		Spec:        plan.Temporal.Spec,
+		NumVertices: plan.Temporal.NumVertices(),
+		Results:     results,
+		Report:      rep,
+	}, nil
+}

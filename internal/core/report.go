@@ -98,9 +98,10 @@ type RunReport struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
-// SetPhase records (or overwrites) a named phase timer. The engine
-// fills "tcsr_build" and "solve"; callers that time surrounding stages
-// (event load, symmetrization) can add theirs before exporting.
+// SetPhase records (or overwrites) a named phase timer. The pipeline
+// fills "tcsr_build", "plan", "solve", and "publish"; callers that time
+// surrounding stages (event load, symmetrization) can add theirs before
+// exporting.
 func (r *RunReport) SetPhase(name string, seconds float64) {
 	for i := range r.Phases {
 		if r.Phases[i].Name == name {
@@ -146,88 +147,4 @@ func (r *RunReport) WriteJSONFile(path string) error {
 		return err
 	}
 	return f.Close()
-}
-
-// buildReport assembles the run report from the per-window results and
-// the counters collected during Run.
-func (e *Engine) buildReport(results []WindowResult, mwSweeps []int64, wall float64, before sched.Stats, scratchBefore ScratchStats) *RunReport {
-	rep := &RunReport{
-		Build:       obs.CollectBuildInfo(),
-		Config:      e.cfg.Info(),
-		Windows:     len(results),
-		MWSweeps:    mwSweeps,
-		WallSeconds: wall,
-	}
-	if e.pool != nil {
-		rep.Workers = e.pool.NumWorkers()
-	}
-	rep.SetPhase("tcsr_build", e.buildSeconds)
-	rep.SetPhase("solve", wall)
-
-	// Warm-start eligibility: every window whose predecessor is in the
-	// same multi-window graph, when partial initialization is on.
-	if e.cfg.PartialInit {
-		for _, mw := range e.tg.MWs {
-			if n := mw.NumWindows(); n > 1 {
-				rep.WarmStart.Eligible += n - 1
-			}
-		}
-	}
-
-	rep.WindowWallSeconds = make([]float64, len(results))
-	rep.WindowWorkers = make([]int, len(results))
-	var resSum float64
-	for i := range results {
-		r := &results[i]
-		rep.TotalIterations += r.Iterations
-		if r.UsedPartialInit {
-			rep.WarmStart.Hits++
-		}
-		if !r.Converged {
-			rep.Residuals.Unconverged++
-		}
-		if r.FinalResidual > rep.Residuals.Max {
-			rep.Residuals.Max = r.FinalResidual
-		}
-		resSum += r.FinalResidual
-		rep.WindowWallSeconds[i] = r.WallSeconds
-		rep.WindowWorkers[i] = r.Worker
-	}
-	if rep.WarmStart.Eligible > 0 {
-		rep.WarmStart.HitRate = float64(rep.WarmStart.Hits) / float64(rep.WarmStart.Eligible)
-	}
-	if len(results) > 0 {
-		rep.Residuals.Mean = resSum / float64(len(results))
-	}
-	// SpMV-style kernels sweep the CSR once per window iteration; the
-	// SpMM kernel filled mwSweeps with per-batch maxima already.
-	if e.cfg.Kernel != SpMM {
-		for mwIdx, mw := range e.tg.MWs {
-			var s int64
-			for w := mw.WinLo; w < mw.WinHi; w++ {
-				s += int64(results[w].Iterations)
-			}
-			mwSweeps[mwIdx] = s
-		}
-	}
-	for _, s := range mwSweeps {
-		rep.TotalSweeps += s
-	}
-	if e.pool != nil && e.pool.MetricsEnabled() {
-		d := e.pool.Stats().Delta(before)
-		rep.Sched = &SchedReport{
-			Workers:       d.Workers,
-			TotalTasks:    d.TotalTasks(),
-			TotalSteals:   d.TotalSteals(),
-			TotalSplits:   d.TotalSplits(),
-			LoadImbalance: d.Imbalance(),
-		}
-	}
-	sd := e.arena.stats().Delta(scratchBefore)
-	sr := &ScratchReport{Gets: sd.Gets, Hits: sd.Hits, Misses: sd.Misses}
-	if sd.Gets > 0 {
-		sr.HitRate = float64(sd.Hits) / float64(sd.Gets)
-	}
-	rep.Scratch = sr
-	return rep
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"bytes"
 	"encoding/json"
 	"testing"
@@ -23,7 +25,7 @@ func reportFixture(t *testing.T, cfg Config, pool *sched.Pool) (*Series, events.
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	s, err := eng.Run()
+	s, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -144,7 +146,7 @@ func TestRunReportSchedStatsDelta(t *testing.T) {
 	}
 	// The report carries the delta for this run, not the pool lifetime:
 	// a second run must not report accumulated counters.
-	s2, err := eng.Run()
+	s2, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatalf("second Run: %v", err)
 	}
@@ -201,7 +203,7 @@ func TestEngineTraceRecordsWindowSpans(t *testing.T) {
 	}
 	tr := obs.NewTrace()
 	eng.SetTrace(tr)
-	if _, err := eng.Run(); err != nil {
+	if _, err := eng.Run(context.Background()); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	var buf bytes.Buffer
@@ -244,7 +246,7 @@ func TestEngineTraceRecordsWindowSpans(t *testing.T) {
 	}
 	trM := obs.NewTrace()
 	engM.SetTrace(trM)
-	if _, err := engM.Run(); err != nil {
+	if _, err := engM.Run(context.Background()); err != nil {
 		t.Fatalf("Run spmm: %v", err)
 	}
 	buf.Reset()

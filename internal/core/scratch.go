@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"pmpr/internal/sched"
+	"pmpr/internal/tcsr"
 )
 
 // This file implements the engine's scratch-memory arena. The kernels
@@ -164,6 +165,7 @@ type scratchBuf struct {
 	a64     freeList[atomic.Int64]
 	vecs    freeList[[]float64]
 	results freeList[WindowResult]
+	views   freeList[tcsr.SolveView]
 }
 
 // lanes returns the number of reduction lanes leaf bodies may index.
@@ -201,4 +203,13 @@ func (b *scratchBuf) getResults(n int) []WindowResult { return b.results.get(b.a
 func (b *scratchBuf) putResults(s []WindowResult) {
 	clear(s)
 	b.results.put(s)
+}
+
+// getViews/putViews manage the batch drivers' []tcsr.SolveView staging.
+// put clears the elements so the free list never pins a multi-window
+// graph through its view pointers.
+func (b *scratchBuf) getViews(n int) []tcsr.SolveView { return b.views.get(b.arena, n) }
+func (b *scratchBuf) putViews(s []tcsr.SolveView) {
+	clear(s)
+	b.views.put(s)
 }

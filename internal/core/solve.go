@@ -1,0 +1,431 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pmpr/internal/obs"
+	"pmpr/internal/sched"
+	"pmpr/internal/tcsr"
+)
+
+// SolveStage executes solve plans on a pool. It owns the scratch arena
+// (kernel working memory, reused across Run calls, so steady-state
+// iteration is allocation-free from the second window onward) and the
+// optional trace writer. One stage solves many plans sequentially;
+// concurrent Run calls on the same stage are not allowed (the Engine
+// guards this with ErrConcurrentRun).
+type SolveStage struct {
+	pool  *sched.Pool
+	arena *scratchArena
+	trace *obs.Trace // optional; nil = no trace events
+}
+
+// NewSolveStage creates a solve stage for pool (nil = serial
+// execution).
+func NewSolveStage(pool *sched.Pool) *SolveStage {
+	return &SolveStage{pool: pool, arena: newArena(pool)}
+}
+
+// SetTrace attaches a Chrome trace writer; pass nil to detach. Do not
+// call concurrently with Run.
+func (st *SolveStage) SetTrace(t *obs.Trace) { st.trace = t }
+
+// ScratchStats snapshots the scratch arena's buffer-reuse counters.
+func (st *SolveStage) ScratchStats() ScratchStats { return st.arena.stats() }
+
+// SolveOutput is the solve stage's product: per-window results plus the
+// counter deltas the publish stage folds into the report.
+type SolveOutput struct {
+	// Results holds one entry per global window.
+	Results []WindowResult
+	// MWSweeps[i] counts shared-CSR sweeps of multi-window graph i; for
+	// width-1 kernels the publish stage recomputes it from iterations.
+	MWSweeps []int64
+	// Seconds is the solve wall time (phase "solve").
+	Seconds float64
+	// Sched is the pool counter delta; nil unless Pool.EnableMetrics.
+	Sched *SchedReport
+	// Scratch is the arena counter delta for this run.
+	Scratch *ScratchReport
+}
+
+// Run executes the plan. On cancellation it returns a *CanceledError
+// (matching ErrCanceled) carrying how many windows completed; the
+// scratch arena is left consistent — every kernel's Finalize runs even
+// on the cancel path — so the stage can be reused immediately.
+func (st *SolveStage) Run(ctx context.Context, plan *SolvePlan) (SolveOutput, error) {
+	r := &solveRun{
+		plan:     plan,
+		arena:    st.arena,
+		trace:    st.trace,
+		kern:     plan.Kernel,
+		results:  make([]WindowResult, plan.Windows),
+		mwSweeps: make([]int64, len(plan.Temporal.MWs)),
+	}
+	if plan.Cfg.Validate {
+		r.val = &runValidator{}
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return SolveOutput{}, &CanceledError{Total: plan.Windows, Cause: err}
+		}
+		// One AfterFunc per Run (not per loop) keeps the per-iteration
+		// cancel check down to an atomic load, preserving the kernels'
+		// 0 allocs/op steady state.
+		stop := context.AfterFunc(ctx, func() { r.canceledFlag.Store(true) })
+		defer stop()
+	}
+	var before sched.Stats
+	metrics := st.pool != nil && st.pool.MetricsEnabled()
+	if metrics {
+		before = st.pool.Stats()
+	}
+	scratchBefore := st.arena.stats()
+	start := time.Now()
+	r.dispatch(ctx, st.pool)
+	dur := time.Since(start)
+	if st.trace != nil {
+		st.trace.Complete("solve", "phase", 0, start, dur, nil)
+	}
+	if r.canceledFlag.Load() || (ctx != nil && ctx.Err() != nil) {
+		var cause error
+		if ctx != nil {
+			cause = ctx.Err()
+		}
+		return SolveOutput{}, &CanceledError{
+			Completed: int(r.completed.Load()),
+			Total:     plan.Windows,
+			Cause:     cause,
+		}
+	}
+	if r.val != nil {
+		if err := r.val.err(); err != nil {
+			return SolveOutput{}, err
+		}
+	}
+	out := SolveOutput{Results: r.results, MWSweeps: r.mwSweeps, Seconds: dur.Seconds()}
+	if metrics {
+		d := st.pool.Stats().Delta(before)
+		out.Sched = &SchedReport{
+			Workers:       d.Workers,
+			TotalTasks:    d.TotalTasks(),
+			TotalSteals:   d.TotalSteals(),
+			TotalSplits:   d.TotalSplits(),
+			LoadImbalance: d.Imbalance(),
+		}
+	}
+	sd := st.arena.stats().Delta(scratchBefore)
+	sr := &ScratchReport{Gets: sd.Gets, Hits: sd.Hits, Misses: sd.Misses}
+	if sd.Gets > 0 {
+		sr.HitRate = float64(sd.Hits) / float64(sd.Gets)
+	}
+	out.Scratch = sr
+	return out, nil
+}
+
+// solveRun is the per-Run state of the solve stage: the plan being
+// executed, the result sink, and the cancellation flag the drivers
+// poll between windows, batches, and iterations.
+type solveRun struct {
+	plan     *SolvePlan
+	arena    *scratchArena
+	trace    *obs.Trace
+	val      *runValidator // nil unless Cfg.Validate
+	kern     Kernel
+	results  []WindowResult
+	mwSweeps []int64
+
+	canceledFlag atomic.Bool
+	completed    atomic.Int64
+}
+
+func (r *solveRun) canceled() bool { return r.canceledFlag.Load() }
+
+// traceTID maps a window-loop worker id to a trace thread id (tid 0 is
+// the main/serial thread, workers start at 1).
+func traceTID(wid int) int { return wid + 1 }
+
+// dispatch fans the plan's work units out according to the parallel
+// mode. Width-1 kernels parallelize over window ranges (warm-start
+// chains form inside each range); wider kernels parallelize over
+// multi-window units, whose batches are sequentially dependent through
+// partial initialization but mutually independent across units (this
+// is why Fig. 8's window-level runs improve with more multi-window
+// graphs).
+func (r *solveRun) dispatch(ctx context.Context, pool *sched.Pool) {
+	cfg := &r.plan.Cfg
+	grain := cfg.grain()
+	part := cfg.Partitioner
+	count := r.plan.Windows
+	fn := r.windowRange
+	outerGrain := grain
+	if r.plan.Width > 1 {
+		count = len(r.plan.Units)
+		fn = r.unitRange
+		if cfg.Mode == Nested {
+			outerGrain = 1
+		}
+	}
+	switch {
+	case pool == nil:
+		fn(0, count, -1, serialLoop)
+	case cfg.Mode == AppLevel:
+		// Windows strictly in order; all parallelism inside the kernel.
+		// The outer loop runs on one pool worker (via RunCtx) so the
+		// inner loops fork from a worker context instead of paying the
+		// external-submission path per parallel region.
+		pool.RunCtx(ctx, func(w *sched.Worker) {
+			fn(0, count, -1, workerLoop(ctx, w, grain, part))
+		})
+	case cfg.Mode == WindowLevel:
+		pool.ParallelForCtx(ctx, count, outerGrain, part, func(w *sched.Worker, lo, hi int) {
+			fn(lo, hi, w.ID(), serialLoop)
+		})
+	default: // Nested
+		pool.ParallelForCtx(ctx, count, outerGrain, part, func(w *sched.Worker, lo, hi int) {
+			fn(lo, hi, w.ID(), workerLoop(ctx, w, grain, part))
+		})
+	}
+}
+
+// windowRange processes windows [lo, hi) in order with a width-1
+// kernel, chaining partial initialization inside the range: a window
+// warm-starts iff its predecessor was computed in this same range and
+// lives in the same multi-window graph — exactly the paper's "if the
+// same thread processes Gi-1 and Gi, partial initialization occurs".
+func (r *solveRun) windowRange(lo, hi, wid int, loop forLoop) {
+	sb, release := r.arena.acquire(wid)
+	defer release()
+	cfg := &r.plan.Cfg
+	b := Batch{
+		cfg:     cfg,
+		scratch: sb,
+		loop:    loop,
+		views:   sb.getViews(1),
+		inits:   sb.getVecs(1),
+		isLive:  sb.getBool(1),
+	}
+	liveBuf := sb.getInt(1)
+	var prev []float64
+	var prevMW *tcsr.MultiWindow
+	for w := lo; w < hi; w++ {
+		if r.canceled() {
+			break
+		}
+		mw := r.plan.Temporal.ForWindow(w)
+		b.mw = mw
+		b.views[0] = mw.ViewOf(w)
+		if cfg.PartialInit && prevMW == mw && prev != nil {
+			b.inits[0] = prev
+		} else {
+			b.inits[0] = nil
+		}
+		b.results = r.results[w : w+1]
+		res := &b.results[0]
+		res.Window = w
+		res.Worker = wid
+		res.mw = mw
+		b.live = liveBuf[:0]
+		b.isLive[0] = false
+		t0 := time.Now()
+		r.runBatch(&b)
+		dur := time.Since(t0)
+		res.WallSeconds = dur.Seconds()
+		if r.trace != nil {
+			r.trace.Complete(fmt.Sprintf("window %d", w), "window", traceTID(wid), t0, dur,
+				map[string]interface{}{
+					"window": w, "iterations": res.Iterations,
+					"active": res.ActiveVertices, "warm_start": res.UsedPartialInit,
+				})
+		}
+		r.validateWindow(res)
+		if cfg.DiscardRanks && prev != nil {
+			// The predecessor vector has served its warm start; recycle.
+			sb.putF64(prev)
+		}
+		prev, prevMW = res.ranks, mw
+		if cfg.DiscardRanks {
+			res.ranks = nil
+		}
+		r.completed.Add(1)
+	}
+	if cfg.DiscardRanks && prev != nil {
+		sb.putF64(prev)
+	}
+	sb.putInt(liveBuf)
+	sb.putBool(b.isLive)
+	sb.putVecs(b.inits)
+	sb.putViews(b.views)
+}
+
+// unitRange processes multi-window units [lo, hi) with a batched
+// kernel.
+func (r *solveRun) unitRange(lo, hi, wid int, loop forLoop) {
+	for i := lo; i < hi; i++ {
+		if r.canceled() {
+			return
+		}
+		r.solveUnit(i, wid, loop)
+	}
+}
+
+// solveUnit runs one multi-window graph's batch sequence. Batch j
+// gathers the j-th window of every region (layout precomputed by the
+// plan stage), so one kernel batch advances up to K windows and every
+// batch after the first warm-starts from its region predecessors.
+// Under Cfg.DiscardRanks a batch's rank vectors are recycled as soon
+// as the next batch has consumed them — including the final batch's
+// vectors after the loop.
+func (r *solveRun) solveUnit(ui, wid int, loop forLoop) {
+	u := &r.plan.Units[ui]
+	mw := u.MW
+	W := mw.NumWindows()
+	if W == 0 {
+		return
+	}
+	sb, release := r.arena.acquire(wid)
+	defer release()
+	cfg := &r.plan.Cfg
+	K := u.K
+
+	// ranksByOffset[o] is the rank vector of window mw.WinLo+o, kept
+	// until batch o+1 has consumed it for partial initialization.
+	ranksByOffset := sb.getVecs(W)
+	viewsBuf := sb.getViews(K)
+	initsBuf := sb.getVecs(K)
+	resultsBuf := sb.getResults(K)
+	liveBuf := sb.getInt(K)
+	isLiveBuf := sb.getBool(K)
+	b := Batch{cfg: cfg, scratch: sb, loop: loop, mw: mw}
+
+	for j := 0; j < u.NumBatches; j++ {
+		if r.canceled() {
+			break
+		}
+		slots := 0
+		for reg := 0; reg < K; reg++ {
+			off := u.RegionStart[reg] + j
+			if off >= u.RegionStart[reg+1] {
+				continue
+			}
+			w := mw.WinLo + off
+			viewsBuf[slots] = mw.ViewOf(w)
+			if j > 0 && cfg.PartialInit {
+				initsBuf[slots] = ranksByOffset[off-1]
+			} else {
+				initsBuf[slots] = nil
+			}
+			resultsBuf[slots] = WindowResult{Window: w, Worker: wid, mw: mw}
+			isLiveBuf[slots] = false
+			slots++
+		}
+		b.views = viewsBuf[:slots]
+		b.inits = initsBuf[:slots]
+		b.results = resultsBuf[:slots]
+		b.isLive = isLiveBuf[:slots]
+		b.live = liveBuf[:0]
+		t0 := time.Now()
+		r.runBatch(&b)
+		dur := time.Since(t0)
+		// One SpMM sweep of the shared CSR advances every live window
+		// of the batch, so the batch's sweep count is its iteration
+		// maximum.
+		var sweeps int64
+		for s := range b.results {
+			res := &b.results[s]
+			if it := int64(res.Iterations); it > sweeps {
+				sweeps = it
+			}
+			res.WallSeconds = dur.Seconds()
+			r.validateWindow(res)
+			ranksByOffset[res.Window-mw.WinLo] = res.ranks
+			if cfg.DiscardRanks {
+				res.ranks = nil
+			}
+			r.results[res.Window] = *res
+			r.completed.Add(1)
+		}
+		r.mwSweeps[ui] += sweeps
+		if r.trace != nil {
+			r.trace.Complete(fmt.Sprintf("mw %d batch %d", ui, j), "batch", traceTID(wid), t0, dur,
+				map[string]interface{}{
+					"mw": ui, "batch": j, "windows": slots,
+					"first_window": b.results[0].Window, "sweeps": sweeps,
+				})
+		}
+		if cfg.DiscardRanks && j > 0 {
+			// Batch j-1's vectors have been consumed; recycle them.
+			for reg := 0; reg < K; reg++ {
+				if off := u.RegionStart[reg] + j - 1; off < u.RegionStart[reg+1] {
+					sb.putF64(ranksByOffset[off])
+					ranksByOffset[off] = nil
+				}
+			}
+		}
+	}
+	if cfg.DiscardRanks {
+		// The final batch's vectors have no consumer; recycle whatever
+		// is still staged so a multi-window graph does not hold K rank
+		// vectors past its solve.
+		for off := range ranksByOffset {
+			if ranksByOffset[off] != nil {
+				sb.putF64(ranksByOffset[off])
+				ranksByOffset[off] = nil
+			}
+		}
+	}
+	sb.putBool(isLiveBuf)
+	sb.putInt(liveBuf)
+	sb.putResults(resultsBuf)
+	sb.putVecs(initsBuf)
+	sb.putViews(viewsBuf)
+	sb.putVecs(ranksByOffset)
+}
+
+// runBatch is the shared convergence loop every kernel executes under:
+// Init stages and marks live slots, each iteration advances the live
+// set and retires slots whose residual drops below the tolerance, and
+// Finalize always runs — cancellation included — so the scratch lease
+// is returned on every exit path.
+func (r *solveRun) runBatch(b *Batch) {
+	kern := r.kern
+	kern.Init(b)
+	opt := b.cfg.Opts
+	for it := 0; it < opt.MaxIter && len(b.live) > 0; it++ {
+		if r.canceled() {
+			break
+		}
+		for _, s := range b.live {
+			b.results[s].Iterations = it + 1
+		}
+		kern.Iterate(b)
+		next := b.live[:0]
+		for _, s := range b.live {
+			res := kern.Residual(b, s)
+			b.results[s].FinalResidual = res
+			if res < opt.Tol {
+				b.results[s].Converged = true
+				b.isLive[s] = false
+			} else {
+				next = append(next, s)
+			}
+		}
+		b.live = next
+	}
+	kern.Finalize(b)
+}
+
+// validateWindow checks a freshly solved window's rank vector against
+// the invariant catalog. It must run before DiscardRanks nils the
+// vector. No-op unless the run set up a validator (Cfg.Validate).
+func (r *solveRun) validateWindow(res *WindowResult) {
+	if r.val == nil {
+		return
+	}
+	if err := checkWindowRanks(res); err != nil {
+		r.val.addf("core: window %d: %w", res.Window, err)
+	}
+}

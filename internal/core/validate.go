@@ -28,14 +28,8 @@ func (v *runValidator) err() error {
 	return errors.Join(v.errs...)
 }
 
-// validateWindow checks a freshly solved window's rank vector against
-// the invariant catalog. It must run before DiscardRanks nils the
-// vector. No-op unless the Run set up a validator (Config.Validate).
-func (e *Engine) validateWindow(r *WindowResult) {
-	if e.val == nil {
-		return
-	}
-	if err := invariant.CheckRanks(r.ranks, r.ActiveVertices, invariant.DefaultRankTol); err != nil {
-		e.val.addf("core: window %d: %w", r.Window, err)
-	}
+// checkWindowRanks runs the invariant catalog's rank checks on a
+// freshly solved window (stochasticity, non-negativity, active count).
+func checkWindowRanks(r *WindowResult) error {
+	return invariant.CheckRanks(r.ranks, r.ActiveVertices, invariant.DefaultRankTol)
 }

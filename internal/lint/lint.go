@@ -73,6 +73,7 @@ func Analyzers() []Analyzer {
 		floateqRule{},
 		closecheckRule{},
 		docRule{},
+		ctxfirstRule{},
 	}
 }
 

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxfirstRule enforces the pipeline's cancellation conventions:
+//
+//  1. Wherever a signature takes a context.Context, it is the first
+//     parameter (after the receiver) — the position Go APIs reserve for
+//     it, and the one that keeps call sites greppable as the context is
+//     threaded from Engine.Run down through the scheduler.
+//  2. internal/* library code never mints its own root context with
+//     context.Background() or context.TODO(): a fresh root silently
+//     detaches the work below it from the caller's cancellation, which
+//     is exactly the bug the staged pipeline exists to prevent.
+//     Commands and examples own the process lifetime, so they are
+//     exempt and create the root (usually via signal.NotifyContext).
+type ctxfirstRule struct{}
+
+func (ctxfirstRule) Name() string { return "ctxfirst" }
+func (ctxfirstRule) Doc() string {
+	return "context.Context must be the first parameter; internal/* must not call context.Background()/TODO()"
+}
+
+// isContextType reports whether the field's declared type is exactly
+// context.Context.
+func isContextType(pkg *Package, expr ast.Expr) bool {
+	t := pkg.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	return types.TypeString(t, nil) == "context.Context"
+}
+
+// checkSignature reports a finding when a context.Context parameter sits
+// at any position but the first.
+func (r ctxfirstRule) checkSignature(pkg *Package, ft *ast.FuncType, out *[]Finding) {
+	if ft.Params == nil {
+		return
+	}
+	flat := 0 // flattened parameter index ("a, b int" is two)
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isContextType(pkg, field.Type) && flat > 0 {
+			pkg.findingf(out, field, r.Name(),
+				"context.Context must be the first parameter, found at position %d", flat+1)
+		}
+		flat += n
+	}
+}
+
+func (r ctxfirstRule) Check(pkg *Package) []Finding {
+	internal := strings.Contains(pkg.Path, "internal/")
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				// Covers func declarations, literals, interface methods,
+				// and named function types alike.
+				r.checkSignature(pkg, n, &out)
+			case *ast.CallExpr:
+				if !internal {
+					return true
+				}
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pkg.Info.Uses[id].(*types.PkgName)
+				if !ok || pkgName.Imported().Path() != "context" {
+					return true
+				}
+				pkg.findingf(&out, n, r.Name(),
+					"context.%s() in library code detaches callees from the caller's cancellation; accept a ctx parameter instead", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -41,14 +41,14 @@ func hotFile(pkgPath, base string) bool {
 }
 
 // hotLoopCall reports whether call hands a loop body to the scheduler:
-// a direct `loop(...)` (the kernels' forLoop parameter) or a
-// `.ParallelFor(...)` method call.
+// a `loop(...)` invocation (the kernels' forLoop, whether a parameter or
+// a Batch field) or a `.ParallelFor`/`.ParallelForCtx` method call.
 func hotLoopCall(call *ast.CallExpr) bool {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		return fun.Name == "loop"
 	case *ast.SelectorExpr:
-		return fun.Sel.Name == "ParallelFor"
+		return fun.Sel.Name == "ParallelFor" || fun.Sel.Name == "ParallelForCtx" || fun.Sel.Name == "loop"
 	}
 	return false
 }
@@ -80,6 +80,9 @@ func (r hotpathRule) Check(pkg *Package) []Finding {
 					body = arg
 				case *ast.Ident:
 					body = bound[pkg.Info.Uses[arg]]
+				case *ast.SelectorExpr:
+					// Kernel state fields: `b.loop(n, s.pass1)`.
+					body = bound[pkg.Info.Uses[arg.Sel]]
 				}
 				if body != nil && !checked[body] {
 					checked[body] = true
@@ -92,9 +95,11 @@ func (r hotpathRule) Check(pkg *Package) []Finding {
 	return out
 }
 
-// boundFuncLits maps local objects to the function literals assigned to
-// them (`body := func(...) {...}`), so a loop body passed by name is
-// checked like an inline one. Reassigned names keep the last literal.
+// boundFuncLits maps objects to the function literals assigned to them:
+// locals (`body := func(...) {...}`) and struct fields
+// (`s.pass1 = func(...) {...}`, the kernels' once-per-solve bound
+// passes), so a loop body passed by name or by field is checked like an
+// inline one. Reassigned names keep the last literal.
 func boundFuncLits(pkg *Package, file *ast.File) map[types.Object]*ast.FuncLit {
 	bound := map[types.Object]*ast.FuncLit{}
 	ast.Inspect(file, func(n ast.Node) bool {
@@ -107,13 +112,15 @@ func boundFuncLits(pkg *Package, file *ast.File) map[types.Object]*ast.FuncLit {
 			if !ok {
 				continue
 			}
-			id, ok := assign.Lhs[i].(*ast.Ident)
-			if !ok {
-				continue
-			}
-			obj := pkg.Info.Defs[id]
-			if obj == nil {
-				obj = pkg.Info.Uses[id]
+			var obj types.Object
+			switch lhs := assign.Lhs[i].(type) {
+			case *ast.Ident:
+				obj = pkg.Info.Defs[lhs]
+				if obj == nil {
+					obj = pkg.Info.Uses[lhs]
+				}
+			case *ast.SelectorExpr:
+				obj = pkg.Info.Uses[lhs.Sel]
 			}
 			if obj != nil {
 				bound[obj] = lit

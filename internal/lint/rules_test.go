@@ -337,3 +337,133 @@ func main() {}
 		t.Errorf("main package: want 0 findings, got %v", fs)
 	}
 }
+
+func TestCtxFirstRulePosition(t *testing.T) {
+	bad := `package core
+
+import "context"
+
+func solve(n int, ctx context.Context) error { _ = ctx; _ = n; return nil }
+
+type runner interface {
+	Run(name string, ctx context.Context) error
+}
+
+var handler = func(id int, ctx context.Context) { _ = id; _ = ctx }
+
+type callback func(grain int, ctx context.Context)
+`
+	pkg := loadFixture(t, "pmpr/internal/core", "ctx_fixture.go", bad)
+	if fs := runRule(t, "ctxfirst", pkg); len(fs) != 4 {
+		t.Fatalf("want 4 findings (decl, interface method, literal, named func type), got %d: %v", len(fs), fs)
+	}
+	// ctx-first signatures (with or without more params) are fine, as
+	// are signatures without a context at all.
+	good := `package core
+
+import "context"
+
+func solve(ctx context.Context, n int) error { _ = ctx; _ = n; return nil }
+
+type runner interface {
+	Run(ctx context.Context) error
+}
+
+func pure(a, b int) int { return a + b }
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "ctx_good.go", good)
+	if fs := runRule(t, "ctxfirst", pkg); len(fs) != 0 {
+		t.Errorf("conforming code: want 0 findings, got %v", fs)
+	}
+	// The position rule applies to commands too.
+	pkg = loadFixture(t, "pmpr/cmd/tool", "ctx_fixture.go", bad)
+	if fs := runRule(t, "ctxfirst", pkg); len(fs) != 4 {
+		t.Errorf("cmd package position check: want 4 findings, got %v", fs)
+	}
+}
+
+func TestCtxFirstRuleBackground(t *testing.T) {
+	bad := `package core
+
+import "context"
+
+func run() error {
+	ctx := context.Background()
+	_ = ctx
+	todo := context.TODO()
+	_ = todo
+	return nil
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/core", "bg_fixture.go", bad)
+	if fs := runRule(t, "ctxfirst", pkg); len(fs) != 2 {
+		t.Fatalf("internal package: want 2 findings (Background, TODO), got %d: %v", len(fs), fs)
+	}
+	// Commands own the process lifetime and may mint the root context.
+	pkg = loadFixture(t, "pmpr/cmd/tool", "bg_fixture.go", bad)
+	if fs := runRule(t, "ctxfirst", pkg); len(fs) != 0 {
+		t.Errorf("cmd package: want 0 findings, got %v", fs)
+	}
+	// A local package named context is not the stdlib's.
+	shadow := `package core
+
+type fakeCtx struct{}
+
+func Background() fakeCtx { return fakeCtx{} }
+
+func run() { _ = Background() }
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "shadow_ctx.go", shadow)
+	if fs := runRule(t, "ctxfirst", pkg); len(fs) != 0 {
+		t.Errorf("non-context Background: want 0 findings, got %v", fs)
+	}
+	// Suppression works like every other rule.
+	suppressed := `package core
+
+import "context"
+
+func run() error {
+	//pmvet:ignore ctxfirst -- detached audit goroutine outlives the request
+	ctx := context.Background()
+	_ = ctx
+	return nil
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "bg_suppressed.go", suppressed)
+	if fs := runRule(t, "ctxfirst", pkg); len(fs) != 0 {
+		t.Errorf("suppressed finding still reported: %v", fs)
+	}
+}
+
+func TestHotpathRuleFieldBoundClosures(t *testing.T) {
+	// The staged kernels bind their passes to state-struct fields once
+	// per solve and invoke them through the Batch's loop field; the rule
+	// must resolve both the selector call (`b.loop(...)`) and the
+	// selector-bound body (`s.pass1`).
+	bad := `package core
+
+import "fmt"
+
+type batch struct {
+	loop func(n int, body func(lo, hi int))
+}
+
+type state struct {
+	pass1 func(lo, hi int)
+}
+
+func kernel(b *batch, s *state, xs []int) {
+	s.pass1 = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fmt.Println(xs[i])
+		}
+	}
+	b.loop(len(xs), s.pass1)
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/core", "kernel_field_fixture.go", bad)
+	fs := runRule(t, "hotpath", pkg)
+	if len(fs) != 1 {
+		t.Fatalf("field-bound body: want 1 finding (fmt), got %d: %v", len(fs), fs)
+	}
+}

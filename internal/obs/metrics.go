@@ -24,6 +24,29 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // state (pool stats, queue depths) is read only when someone asks.
 type GaugeFunc func() float64
 
+// RunCounters tracks the lifecycle of solve runs: how many were
+// started, how many completed, and how many were canceled mid-solve.
+// The zero value is ready to use; owners (core.Engine) hold the
+// counters and expose them to a registry via RegisterOn, so the hot
+// path increments plain atomics with no registry lookup.
+type RunCounters struct {
+	// Started counts Run entries (including runs that later cancel).
+	Started Counter
+	// Completed counts runs that produced a full series.
+	Completed Counter
+	// Canceled counts runs cut short by context cancellation.
+	Canceled Counter
+}
+
+// RegisterOn publishes the three counters on r under the prefix (e.g.
+// "pmpr_engine_runs"), producing <prefix>_started_total,
+// <prefix>_completed_total, and <prefix>_canceled_total.
+func (c *RunCounters) RegisterOn(r *Registry, prefix string) {
+	r.RegisterCounter(prefix+"_started_total", "solve runs started", &c.Started)
+	r.RegisterCounter(prefix+"_completed_total", "solve runs completed", &c.Completed)
+	r.RegisterCounter(prefix+"_canceled_total", "solve runs canceled mid-solve", &c.Canceled)
+}
+
 type metric struct {
 	name string
 	help string
@@ -54,6 +77,16 @@ func (r *Registry) Counter(name, help string) *Counter {
 	c := &Counter{}
 	r.metrics[name] = &metric{name: name, help: help, kind: "counter", ctr: c}
 	return c
+}
+
+// RegisterCounter registers an externally-owned counter under name,
+// replacing any previous registration. It lets owners keep incrementing
+// a counter they embed (no registry indirection on the hot path) while
+// still exposing it on the scrape surfaces.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = &metric{name: name, help: help, kind: "counter", ctr: c}
 }
 
 // Gauge registers a sampled gauge; fn is called at scrape time and must

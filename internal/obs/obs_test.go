@@ -179,3 +179,29 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatalf("/debug/pprof/profile: code=%d", code)
 	}
 }
+
+func TestRunCountersRegisterOn(t *testing.T) {
+	var rc RunCounters
+	rc.Started.Add(5)
+	rc.Completed.Add(3)
+	rc.Canceled.Inc()
+	reg := NewRegistry()
+	rc.RegisterOn(reg, "pmpr_engine_runs")
+	snap := reg.Snapshot()
+	if snap["pmpr_engine_runs_started_total"] != 5 ||
+		snap["pmpr_engine_runs_completed_total"] != 3 ||
+		snap["pmpr_engine_runs_canceled_total"] != 1 {
+		t.Fatalf("bad snapshot: %v", snap)
+	}
+	// The registry exposes the owner's counter, not a copy: later
+	// increments show up at the next scrape.
+	rc.Canceled.Inc()
+	if got := reg.Snapshot()["pmpr_engine_runs_canceled_total"]; got != 2 {
+		t.Fatalf("canceled after inc = %v, want 2", got)
+	}
+	var buf bytes.Buffer
+	reg.WriteProm(&buf)
+	if !strings.Contains(buf.String(), "# TYPE pmpr_engine_runs_started_total counter") {
+		t.Fatalf("exposition missing counter type:\n%s", buf.String())
+	}
+}

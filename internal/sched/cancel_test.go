@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParallelForCtxNilContextCompletes(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var n atomic.Int64
+	//nolint — nil ctx is the documented "never cancels" form.
+	if err := p.ParallelForCtx(nil, 1000, 10, Auto, func(_ *Worker, lo, hi int) {
+		n.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if n.Load() != 1000 {
+		t.Fatalf("covered %d of 1000", n.Load())
+	}
+}
+
+func TestParallelForCtxPreCanceled(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var n atomic.Int64
+	err := p.ParallelForCtx(ctx, 1000, 10, Auto, func(_ *Worker, lo, hi int) {
+		n.Add(int64(hi - lo))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n.Load() != 0 {
+		t.Fatalf("pre-canceled loop still ran %d items", n.Load())
+	}
+}
+
+func TestParallelForCtxMidLoopCancel(t *testing.T) {
+	for _, part := range []Partitioner{Auto, Simple, Static} {
+		t.Run(part.String(), func(t *testing.T) {
+			p := NewPool(4)
+			defer p.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var n atomic.Int64
+			err := p.ParallelForCtx(ctx, 1<<16, 1, part, func(_ *Worker, lo, hi int) {
+				if n.Add(int64(hi-lo)) > 100 {
+					cancel()
+				}
+				time.Sleep(time.Microsecond)
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if n.Load() >= 1<<16 {
+				t.Fatal("cancellation did not skip any work")
+			}
+		})
+	}
+}
+
+func TestParallelForCtxCancelStillJoins(t *testing.T) {
+	// After a canceled loop returns, no leaf of that loop may still be
+	// running: launch a second loop writing the same cells and look for
+	// overlap.
+	p := NewPool(4)
+	defer p.Close()
+	cells := make([]atomic.Int32, 1<<12)
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	_ = p.ParallelForCtx(ctx, len(cells), 1, Auto, func(_ *Worker, lo, hi int) {
+		if n.Add(1) == 10 {
+			cancel()
+		}
+		for i := lo; i < hi; i++ {
+			cells[i].Add(1)
+			time.Sleep(time.Microsecond)
+			cells[i].Add(-1)
+		}
+	})
+	// The join guarantee: every span either ran to completion or was
+	// skipped, so all cells are back to zero the moment the call returns.
+	for i := range cells {
+		if v := cells[i].Load(); v != 0 {
+			t.Fatalf("cell %d still mid-flight after return (v=%d)", i, v)
+		}
+	}
+}
+
+func TestRunCtxCancel(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := p.RunCtx(ctx, func(_ *Worker) { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("pre-canceled RunCtx still executed fn")
+	}
+	if err := p.RunCtx(context.Background(), func(_ *Worker) { ran = true }); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	if !ran {
+		t.Fatal("RunCtx did not execute fn")
+	}
+}
+
+func TestWorkerParallelForCtxNestedCancel(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var inner atomic.Int64
+	err := p.RunCtx(ctx, func(w *Worker) {
+		_ = w.ParallelForCtx(ctx, 1<<16, 1, Auto, func(_ *Worker, lo, hi int) {
+			if inner.Add(int64(hi-lo)) > 50 {
+				cancel()
+			}
+			time.Sleep(time.Microsecond)
+		})
+	})
+	// The outer RunCtx span had already started when cancel hit, so the
+	// outer error may be nil or Canceled; the inner loop must have
+	// short-circuited either way.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if inner.Load() >= 1<<16 {
+		t.Fatal("nested cancellation did not skip any work")
+	}
+}
+
+func TestCancelLeavesPoolUsable(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for round := 0; round < 50; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var n atomic.Int64
+		_ = p.ParallelForCtx(ctx, 4096, 1, Auto, func(_ *Worker, lo, hi int) {
+			if n.Add(1) == 3 {
+				cancel()
+			}
+		})
+		cancel()
+		// A plain loop right after must still cover everything.
+		var m atomic.Int64
+		p.ParallelFor(4096, 64, Auto, func(_ *Worker, lo, hi int) { m.Add(int64(hi - lo)) })
+		if m.Load() != 4096 {
+			t.Fatalf("round %d: post-cancel loop covered %d of 4096", round, m.Load())
+		}
+	}
+}
+
+func TestCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(4)
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var n atomic.Int64
+		_ = p.ParallelForCtx(ctx, 1<<14, 1, Auto, func(_ *Worker, lo, hi int) {
+			if n.Add(1) == 2 {
+				cancel()
+			}
+		})
+		cancel()
+	}
+	p.Close()
+	// Workers park and exit on Close; give the runtime a moment to reap.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}

@@ -23,6 +23,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -68,6 +69,11 @@ type job struct {
 	grain   int
 	part    Partitioner
 	initial int // auto: ranges longer than this always split
+	// ctx carries the loop's cancellation signal; nil means the loop can
+	// never be canceled (the zero-overhead path of ParallelFor). Spans of
+	// a canceled job are still popped and finished — so pending drains
+	// and submitters unblock — but their bodies are skipped.
+	ctx     context.Context
 	pending atomic.Int64
 	// doneFlag is the completion signal polled by nested submitters
 	// (helpUntil); done is non-nil only for external submissions, which
@@ -90,6 +96,14 @@ func (j *job) finish(leaves int64) {
 			close(done)
 		}
 	}
+}
+
+// canceled reports whether the job's context has been canceled. It is
+// polled cooperatively by the work-stealing loop before every leaf
+// execution, so a canceled loop stops promptly at the next span
+// boundary (already-running leaf bodies finish).
+func (j *job) canceled() bool {
+	return j.ctx != nil && j.ctx.Err() != nil
 }
 
 type span struct {
@@ -299,6 +313,12 @@ func (w *Worker) shouldSplit(s span) bool {
 }
 
 func (w *Worker) process(s span) {
+	if s.job.canceled() {
+		// Cooperative cancellation: drain the span without executing its
+		// body, so pending reaches zero and the submitter unblocks.
+		s.job.finish(1)
+		return
+	}
 	var m *workerMetrics
 	var t0 time.Time
 	if w.pool.metricsOn.Load() {
@@ -328,6 +348,11 @@ func (w *Worker) process(s span) {
 			hi := lo + j.grain
 			if hi > s.hi {
 				hi = s.hi
+			}
+			if j.canceled() {
+				// Remaining leaves of a canceled static span are dropped;
+				// the single span-level finish below still runs.
+				break
 			}
 			j.body(w, lo, hi)
 			leaves++
@@ -361,7 +386,7 @@ func (w *Worker) helpUntil(j *job) {
 // newJob prepares a (possibly recycled) job descriptor. The returned
 // job has no completion channel; external submitters attach one before
 // seeding.
-func (p *Pool) newJob(n, grain int, part Partitioner, body Body) *job {
+func (p *Pool) newJob(ctx context.Context, n, grain int, part Partitioner, body Body) *job {
 	if grain < 1 {
 		grain = 1
 	}
@@ -374,6 +399,7 @@ func (p *Pool) newJob(n, grain int, part Partitioner, body Body) *job {
 		j = &job{}
 	}
 	j.body, j.grain, j.part, j.initial = body, grain, part, initial
+	j.ctx = ctx
 	j.doneFlag.Store(false)
 	j.done = nil
 	return j
@@ -384,6 +410,7 @@ func (p *Pool) newJob(n, grain int, part Partitioner, body Body) *job {
 func (p *Pool) recycleJob(j *job) {
 	j.body = nil
 	j.done = nil
+	j.ctx = nil
 	p.jobPool.Put(j)
 }
 
@@ -435,27 +462,63 @@ func (p *Pool) seed(j *job, n int, home *Worker) {
 // leaves have executed. It is safe to call from any goroutine that is
 // not a pool worker; inside a Body, call Worker.ParallelFor instead.
 func (p *Pool) ParallelFor(n, grain int, part Partitioner, body Body) {
-	if n <= 0 {
-		return
+	p.ParallelForCtx(nil, n, grain, part, body)
+}
+
+// ParallelForCtx is ParallelFor with cooperative cancellation: once ctx
+// is canceled, workers stop executing this loop's remaining leaves
+// (leaf bodies already running finish) and the call returns ctx.Err().
+// A nil ctx never cancels. After a non-nil error the loop's side
+// effects are partial; callers must discard them.
+func (p *Pool) ParallelForCtx(ctx context.Context, n, grain int, part Partitioner, body Body) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
-	j := p.newJob(n, grain, part, body)
+	if n <= 0 {
+		return nil
+	}
+	j := p.newJob(ctx, n, grain, part, body)
 	j.done = make(chan struct{})
 	p.seed(j, n, nil)
 	<-j.done
 	p.recycleJob(j)
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // ParallelFor runs a nested loop from inside a Body. The calling worker
 // participates: it processes spans (of this or other jobs) until the
 // nested loop completes.
 func (w *Worker) ParallelFor(n, grain int, part Partitioner, body Body) {
-	if n <= 0 {
-		return
+	w.ParallelForCtx(nil, n, grain, part, body)
+}
+
+// ParallelForCtx is Worker.ParallelFor with cooperative cancellation,
+// with the same contract as Pool.ParallelForCtx. It stays on the
+// nested (channel-free, allocation-free) completion path, so the
+// kernels' per-iteration vertex loops can carry a context without
+// giving up the pooled-job steady state.
+func (w *Worker) ParallelForCtx(ctx context.Context, n, grain int, part Partitioner, body Body) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
-	j := w.pool.newJob(n, grain, part, body)
+	if n <= 0 {
+		return nil
+	}
+	j := w.pool.newJob(ctx, n, grain, part, body)
 	w.pool.seed(j, n, w)
 	w.helpUntil(j)
 	w.pool.recycleJob(j)
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Run executes fn on some pool worker and waits for it; it is a
@@ -463,4 +526,12 @@ func (w *Worker) ParallelFor(n, grain int, part Partitioner, body Body) {
 // nested ParallelFor calls have a Worker context.
 func (p *Pool) Run(fn func(w *Worker)) {
 	p.ParallelFor(1, 1, Auto, func(w *Worker, _, _ int) { fn(w) })
+}
+
+// RunCtx is Run with a context: fn still runs to completion once
+// started (cancellation inside fn is fn's business, via the loops it
+// forks), but a ctx canceled before a worker picks the task up skips
+// fn entirely and RunCtx returns ctx.Err(). A nil ctx never cancels.
+func (p *Pool) RunCtx(ctx context.Context, fn func(w *Worker)) error {
+	return p.ParallelForCtx(ctx, 1, 1, Auto, func(w *Worker, _, _ int) { fn(w) })
 }
