@@ -12,6 +12,13 @@
 //	       [-model postmortem|offline|streaming|components|kcore]
 //	       [-metrics-addr :8080] [-trace-out run.trace.json]
 //	       [-report-out report.json] [-discard-ranks]
+//	       [-checkpoint-dir ckpt/] [-resume]
+//
+// With -checkpoint-dir every solved window is flushed to disk as it
+// completes; an interrupted run can then be re-invoked with -resume to
+// restore the finished windows and solve only the rest. Deterministic
+// fault injection is armed via the PMPR_FAULTPOINTS environment
+// variable (see internal/fault).
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"pmpr/internal/checkpoint"
 	"pmpr/internal/closeness"
 	"pmpr/internal/core"
 	"pmpr/internal/events"
@@ -57,6 +65,9 @@ func main() {
 		model     = flag.String("model", "postmortem", "analysis: postmortem, offline, streaming, components, kcore or closeness")
 		out       = flag.String("out", "", "write the rank series to this file (postmortem model only)")
 
+		ckptDir = flag.String("checkpoint-dir", "", "flush each solved window to this directory (postmortem model only)")
+		resume  = flag.Bool("resume", false, "restore windows already present in -checkpoint-dir instead of re-solving them")
+
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON of the schedule (postmortem model only)")
 		reportOut    = flag.String("report-out", "", "write the run report JSON (postmortem model only)")
@@ -72,8 +83,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pmrank: -in is required")
 		os.Exit(2)
 	}
-	if *model != "postmortem" && (*traceOut != "" || *reportOut != "" || *discardRanks) {
-		fmt.Fprintln(os.Stderr, "pmrank: -trace-out/-report-out/-discard-ranks apply to the postmortem model only; ignoring")
+	if *model != "postmortem" && (*traceOut != "" || *reportOut != "" || *discardRanks || *ckptDir != "") {
+		fmt.Fprintln(os.Stderr, "pmrank: -trace-out/-report-out/-discard-ranks/-checkpoint-dir apply to the postmortem model only; ignoring")
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "pmrank: -resume requires -checkpoint-dir")
+		os.Exit(2)
 	}
 
 	loadStart := time.Now()
@@ -101,8 +116,9 @@ func main() {
 	if observing {
 		pool.EnableMetrics(true)
 	}
+	var reg *obs.Registry
 	if *metricsAddr != "" {
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		reg.Gauge("pmpr_events_total", "events in the loaded log", func() float64 { return float64(l.Len()) })
 		reg.Gauge("pmpr_workers", "scheduler pool size", func() float64 { return float64(pool.NumWorkers()) })
 		reg.Gauge("pmpr_sched_tasks_total", "fork-join leaf tasks executed", func() float64 { return float64(pool.Stats().TotalTasks()) })
@@ -148,6 +164,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if reg != nil {
+			eng.FaultCounters().RegisterOn(reg, "pmpr_engine_fault")
+		}
+		if *ckptDir != "" {
+			store, err := checkpoint.Open(*ckptDir)
+			if err != nil {
+				fatal(err)
+			}
+			restored, err := eng.SetCheckpoint(store, *resume)
+			if err != nil {
+				fatal(err)
+			}
+			if *resume {
+				fmt.Printf("resuming from %s: %d/%d windows restored\n", *ckptDir, restored, spec.Count)
+			} else {
+				fmt.Printf("checkpointing to %s\n", *ckptDir)
+			}
+		}
 		var tr *obs.Trace
 		if *traceOut != "" {
 			tr = obs.NewTrace()
@@ -159,6 +193,10 @@ func main() {
 			if errors.As(err, &canceled) {
 				fmt.Printf("pmrank: interrupted; partial progress: %d/%d windows solved\n",
 					canceled.Completed, canceled.Total)
+				if canceled.Checkpoint != "" {
+					fmt.Printf("pmrank: completed windows checkpointed in %s; re-run with -resume to continue\n",
+						canceled.Checkpoint)
+				}
 				os.Exit(130)
 			}
 			fatal(err)
@@ -179,6 +217,12 @@ func main() {
 		fmt.Printf("postmortem: %d windows, %d total iterations, %.3fs (stored events %d, memory %.1f MB)\n",
 			s.Len(), s.TotalIterations(), elapsed.Seconds(),
 			eng.Temporal().TotalStoredEvents(), float64(eng.Temporal().MemoryBytes())/(1<<20))
+		if s.Report != nil {
+			if f := s.Report.Fault; f.Retried > 0 || f.Degraded > 0 || f.Resumed > 0 || len(f.Quarantined) > 0 {
+				fmt.Printf("fault summary: %d retried, %d degraded, %d resumed, %d quarantined %v\n",
+					f.Retried, f.Degraded, f.Resumed, len(f.Quarantined), f.Quarantined)
+			}
+		}
 		if s.Report != nil {
 			s.Report.SetPhase("load", loadSeconds)
 			if *reportOut != "" {

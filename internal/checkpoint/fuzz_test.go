@@ -1,0 +1,85 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeWindow feeds arbitrary bytes to the window decoder. The
+// decoder must never panic or OOM; when it does accept an input, a
+// re-encode of the decoded window must reproduce the input exactly
+// (the codec has a single canonical form, so acceptance implies
+// integrity).
+func FuzzDecodeWindow(f *testing.F) {
+	f.Add(EncodeWindow(testWindow(0)))
+	f.Add(EncodeWindow(testWindow(7)))
+	f.Add(EncodeWindow(&Window{Index: 1 << 30}))
+	f.Add([]byte("PMCW"))
+	f.Add([]byte{})
+	corrupt := EncodeWindow(testWindow(3))
+	corrupt[len(corrupt)/2] ^= 1
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := DecodeWindow(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeWindow(w); !bytes.Equal(got, data) {
+			t.Fatalf("accepted input is not canonical:\n in  %x\n out %x", data, got)
+		}
+	})
+}
+
+// FuzzDecodeManifest is the manifest analogue of FuzzDecodeWindow.
+func FuzzDecodeManifest(f *testing.F) {
+	f.Add(EncodeManifest(testManifest()))
+	f.Add(EncodeManifest(Manifest{}))
+	f.Add([]byte("PMCM"))
+	corrupt := EncodeManifest(testManifest())
+	corrupt[8] ^= 0x10
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeManifest(m); !bytes.Equal(got, data) {
+			t.Fatalf("accepted input is not canonical:\n in  %x\n out %x", data, got)
+		}
+	})
+}
+
+// FuzzWindowRoundTrip fuzzes the encode side: arbitrary field values
+// must survive a round trip bit-identically.
+func FuzzWindowRoundTrip(f *testing.F) {
+	f.Add(3, 17, true, true, int32(40), 1e-9, 0.5, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(0, 0, false, false, int32(0), 0.0, 0.0, []byte{})
+	f.Fuzz(func(t *testing.T, idx, iters int, conv, warm bool, active int32, resid, wall float64, rankBytes []byte) {
+		if idx < 0 {
+			idx = -idx
+		}
+		if idx < 0 { // -MinInt overflows back to MinInt
+			idx = 0
+		}
+		ranks := make([]float64, len(rankBytes)/2)
+		for i := range ranks {
+			ranks[i] = float64(rankBytes[2*i])/255 + float64(rankBytes[2*i+1])
+		}
+		w := &Window{
+			Index: idx, Iterations: int(int32(iters)), Converged: conv, UsedPartialInit: warm,
+			ActiveVertices: active, FinalResidual: resid, WallSeconds: wall, Ranks: ranks,
+		}
+		got, err := DecodeWindow(EncodeWindow(w))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if got.Index != w.Index || got.Iterations != w.Iterations || len(got.Ranks) != len(w.Ranks) {
+			t.Fatalf("round trip mismatch: got %+v want %+v", got, w)
+		}
+		for i := range ranks {
+			if got.Ranks[i] != ranks[i] {
+				t.Fatalf("rank[%d] not bit-identical", i)
+			}
+		}
+	})
+}

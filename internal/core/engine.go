@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pmpr/internal/checkpoint"
 	"pmpr/internal/events"
 	"pmpr/internal/invariant"
 	"pmpr/internal/obs"
@@ -111,6 +112,105 @@ func (e *Engine) Plan() *SolvePlan { return e.plan }
 // Counters exposes the engine's run lifecycle counters for metrics
 // registration (see obs.RunCounters.RegisterOn).
 func (e *Engine) Counters() *obs.RunCounters { return &e.counters }
+
+// FaultCounters exposes the solve stage's fault-tolerance counters
+// (panics recovered, retries, degrades, quarantines, checkpoint
+// traffic) for metrics registration (see obs.FaultCounters.RegisterOn).
+func (e *Engine) FaultCounters() *obs.FaultCounters { return e.solve.FaultCounters() }
+
+// Manifest renders the engine's run identity for checkpointing: the
+// window spec, kernel, partitioning, iteration options, and input
+// shape. Two engines may share a checkpoint directory iff their
+// manifests are equal.
+func (e *Engine) Manifest() checkpoint.Manifest {
+	t := e.plan.Temporal
+	cfg := &e.plan.Cfg
+	bounds := make([]int, 0, len(t.MWs)*2)
+	for _, mw := range t.MWs {
+		bounds = append(bounds, mw.WinLo, mw.WinHi)
+	}
+	return checkpoint.Manifest{
+		SpecT0:          t.Spec.T0,
+		SpecDelta:       t.Spec.Delta,
+		SpecSlide:       t.Spec.Slide,
+		SpecCount:       t.Spec.Count,
+		Kernel:          e.plan.Kernel.Name(),
+		NumMultiWindows: len(t.MWs),
+		PartitionHash:   checkpoint.HashPartition(bounds),
+		NumVertices:     t.NumVertices(),
+		Directed:        t.Directed,
+		PartialInit:     cfg.PartialInit,
+		Alpha:           cfg.Opts.Alpha,
+		Tol:             cfg.Opts.Tol,
+		MaxIter:         cfg.Opts.MaxIter,
+	}
+}
+
+// SetCheckpoint enables checkpointing on store for every subsequent
+// Run: each decided window is flushed (atomically, CRC-checksummed)
+// before it counts as completed, so a killed or canceled run leaves a
+// resumable directory behind.
+//
+// With resume false the store is cleared and a fresh manifest written.
+// With resume true the store's manifest must match this engine's (same
+// spec, kernel, partitioning, options — see Manifest); matching window
+// records are then restored instead of re-solved, bit-identically,
+// with corrupt or mismatched records silently re-solved. resumed
+// reports how many windows the next Run will restore.
+//
+// Checkpointing requires retained ranks: it returns an error under
+// Config.DiscardRanks. Pass a nil store to disable checkpointing. Do
+// not call concurrently with Run.
+func (e *Engine) SetCheckpoint(store *checkpoint.Store, resume bool) (resumed int, err error) {
+	if store == nil {
+		e.solve.setCheckpoint(nil)
+		return 0, nil
+	}
+	if e.plan.Cfg.DiscardRanks {
+		return 0, errors.New("core: checkpointing requires retained ranks (Config.DiscardRanks is set)")
+	}
+	want := e.Manifest()
+	if !resume {
+		if err := store.Clear(); err != nil {
+			return 0, err
+		}
+		if err := store.WriteManifest(want); err != nil {
+			return 0, err
+		}
+		e.solve.setCheckpoint(&ckptRun{store: store})
+		return 0, nil
+	}
+	have, ok, err := store.LoadManifest()
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		// Nothing to resume from; start checkpointing fresh.
+		if err := store.WriteManifest(want); err != nil {
+			return 0, err
+		}
+		e.solve.setCheckpoint(&ckptRun{store: store})
+		return 0, nil
+	}
+	if have != want {
+		return 0, fmt.Errorf("core: checkpoint in %s belongs to a different run (manifest mismatch); re-run without -resume to start over", store.Dir())
+	}
+	windows, _, err := store.LoadWindows()
+	if err != nil {
+		return 0, err
+	}
+	t := e.plan.Temporal
+	for idx, w := range windows {
+		// Drop records that cannot belong to this run despite the
+		// manifest match (wrong index range or rank-vector shape): they
+		// will simply be re-solved and overwritten.
+		if idx < 0 || idx >= t.Spec.Count || len(w.Ranks) != int(t.ForWindow(idx).NumLocal()) {
+			delete(windows, idx)
+		}
+	}
+	e.solve.setCheckpoint(&ckptRun{store: store, resumed: windows})
+	return len(windows), nil
+}
 
 // SetTrace attaches a Chrome trace writer: every subsequent Run records
 // which worker solved which window (width-1 kernels) or batch (SpMM)

@@ -63,6 +63,13 @@ type Batch struct {
 	live   []int
 	isLive []bool
 
+	// truncated is set by runBatch when the convergence loop broke on
+	// cancellation: the staged results may be mid-iteration, so the
+	// batch is undecided — solveBatchFT returns false and the driver
+	// must not consume, count, or checkpoint its results (the run is
+	// returning a *CanceledError and a resume re-solves them).
+	truncated bool
+
 	// state is the kernel's per-batch working set (vectors, bound loop
 	// bodies); one boxed allocation per batch, amortized over its
 	// iterations.

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"pmpr/internal/events"
+	"pmpr/internal/fault"
 	"pmpr/internal/invariant"
 	"pmpr/internal/obs"
 	"pmpr/internal/tcsr"
@@ -48,8 +49,14 @@ type BuildOutput struct {
 }
 
 // Run builds (and when Cfg.Validate is set, validates) the temporal
-// representation.
-func (BuildStage) Run(in BuildInput) (BuildOutput, error) {
+// representation. A panic inside the build (e.g. on a malformed log a
+// caller constructed by hand) is converted into a *StageError instead
+// of crashing the process.
+func (BuildStage) Run(in BuildInput) (out BuildOutput, err error) {
+	defer recoverStage("build", &err)
+	if err := fault.Inject(PointBuild); err != nil {
+		return BuildOutput{}, err
+	}
 	if err := in.Cfg.Check(); err != nil {
 		return BuildOutput{}, err
 	}
@@ -130,8 +137,13 @@ type SolvePlan struct {
 }
 
 // Run lays out the solve. It fails when Cfg is invalid, Temporal is
-// nil, or Cfg.Kernel has no registered implementation.
-func (PlanStage) Run(in PlanInput) (*SolvePlan, error) {
+// nil, or Cfg.Kernel has no registered implementation; a panic during
+// layout becomes a *StageError.
+func (PlanStage) Run(in PlanInput) (plan *SolvePlan, err error) {
+	defer recoverStage("plan", &err)
+	if err := fault.Inject(PointPlan); err != nil {
+		return nil, err
+	}
 	if err := in.Cfg.Check(); err != nil {
 		return nil, err
 	}
@@ -212,8 +224,13 @@ type PublishInput struct {
 	BuildSeconds float64
 }
 
-// Run assembles the Series with its observability rollup.
-func (PublishStage) Run(in PublishInput) (*Series, error) {
+// Run assembles the Series with its observability rollup. A panic
+// during aggregation becomes a *StageError.
+func (PublishStage) Run(in PublishInput) (series *Series, err error) {
+	defer recoverStage("publish", &err)
+	if err := fault.Inject(PointPublish); err != nil {
+		return nil, err
+	}
 	plan := in.Plan
 	results := in.Solve.Results
 	mwSweeps := in.Solve.MWSweeps
@@ -250,6 +267,16 @@ func (PublishStage) Run(in PublishInput) (*Series, error) {
 		}
 		if !r.Converged {
 			rep.Residuals.Unconverged++
+		}
+		switch r.Status {
+		case WindowRetried:
+			rep.Fault.Retried++
+		case WindowDegraded:
+			rep.Fault.Degraded++
+		case WindowResumed:
+			rep.Fault.Resumed++
+		case WindowFailed:
+			rep.Fault.Quarantined = append(rep.Fault.Quarantined, r.Window)
 		}
 		if r.FinalResidual > rep.Residuals.Max {
 			rep.Residuals.Max = r.FinalResidual

@@ -58,6 +58,22 @@ type ScratchReport struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// FaultReport summarizes how the fault-tolerance machinery touched a
+// run's windows: how many needed retries, how many fell back to the
+// serial kernel, how many were restored from a checkpoint, and which
+// were quarantined. An all-zero report is the healthy case.
+type FaultReport struct {
+	// Retried counts windows that succeeded with the configured kernel
+	// after at least one failed attempt.
+	Retried int `json:"retried"`
+	// Degraded counts windows solved by the serial-SpMV fallback.
+	Degraded int `json:"degraded"`
+	// Resumed counts windows restored from a checkpoint.
+	Resumed int `json:"resumed"`
+	// Quarantined lists the global indices of terminally failed windows.
+	Quarantined []int `json:"quarantined,omitempty"`
+}
+
 // RunReport aggregates the observability of one Engine.Run: phase
 // timers, warm-start behavior, per-multi-window sweep counts, final
 // residuals, per-window wall time and worker attribution, and (when
@@ -94,6 +110,9 @@ type RunReport struct {
 
 	// Scratch holds the arena counter delta for this run.
 	Scratch *ScratchReport `json:"scratch,omitempty"`
+
+	// Fault summarizes retries, degrades, resumes, and quarantines.
+	Fault FaultReport `json:"fault"`
 
 	WallSeconds float64 `json:"wall_seconds"`
 }

@@ -8,6 +8,44 @@ import (
 	"pmpr/internal/tcsr"
 )
 
+// WindowStatus classifies how a window's result was obtained under the
+// solve stage's fault-tolerance policy.
+type WindowStatus uint8
+
+const (
+	// WindowOK is a first-attempt solve with the configured kernel.
+	WindowOK WindowStatus = iota
+	// WindowResumed was loaded from a checkpoint instead of solved.
+	WindowResumed
+	// WindowRetried succeeded with the configured kernel after at least
+	// one failed attempt.
+	WindowRetried
+	// WindowDegraded succeeded only on the serial-SpMV fallback after
+	// the configured kernel failed every attempt.
+	WindowDegraded
+	// WindowFailed is quarantined: every attempt (including the degrade
+	// fallback) failed. The result carries no ranks and Err is set.
+	WindowFailed
+)
+
+// String names the status for reports and logs.
+func (s WindowStatus) String() string {
+	switch s {
+	case WindowOK:
+		return "ok"
+	case WindowResumed:
+		return "resumed"
+	case WindowRetried:
+		return "retried"
+	case WindowDegraded:
+		return "degraded"
+	case WindowFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("WindowStatus(%d)", int(s))
+	}
+}
+
 // WindowResult holds the PageRank outcome for one window of the
 // sequence.
 type WindowResult struct {
@@ -32,8 +70,17 @@ type WindowResult struct {
 	// window, or -1 when the window loop ran outside the pool (serial
 	// and app-level runs).
 	Worker int
+	// Status records how the result was obtained (ok, resumed from a
+	// checkpoint, retried, degraded to the serial fallback, or failed).
+	Status WindowStatus
+	// Attempts counts solve attempts; 0 for resumed windows, 1 for a
+	// clean first-attempt solve.
+	Attempts int
+	// Err is the terminal failure of a quarantined window (Status ==
+	// WindowFailed); nil otherwise.
+	Err error
 
-	ranks []float64 // local-id ranks; nil when discarded
+	ranks []float64 // local-id ranks; nil when discarded or failed
 	mw    *tcsr.MultiWindow
 }
 
@@ -163,6 +210,22 @@ func (s *Series) AllConverged() bool {
 	}
 	return true
 }
+
+// Quarantined returns the indices of windows that failed terminally
+// (Status == WindowFailed), in ascending order. An empty slice means
+// every window holds a usable result.
+func (s *Series) Quarantined() []int {
+	var out []int
+	for i := range s.Results {
+		if s.Results[i].Status == WindowFailed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AllOK reports whether no window was quarantined.
+func (s *Series) AllOK() bool { return len(s.Quarantined()) == 0 }
 
 // String summarizes the series for logs and test failures.
 func (s *Series) String() string {

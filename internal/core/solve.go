@@ -21,6 +21,8 @@ type SolveStage struct {
 	pool  *sched.Pool
 	arena *scratchArena
 	trace *obs.Trace // optional; nil = no trace events
+	fault obs.FaultCounters
+	ckpt  *ckptRun // optional; nil = no checkpointing
 }
 
 // NewSolveStage creates a solve stage for pool (nil = serial
@@ -32,6 +34,15 @@ func NewSolveStage(pool *sched.Pool) *SolveStage {
 // SetTrace attaches a Chrome trace writer; pass nil to detach. Do not
 // call concurrently with Run.
 func (st *SolveStage) SetTrace(t *obs.Trace) { st.trace = t }
+
+// FaultCounters exposes the stage's fault-tolerance counters (panics
+// recovered, retries, degrades, quarantines, checkpoint traffic) for
+// metrics registration (see obs.FaultCounters.RegisterOn).
+func (st *SolveStage) FaultCounters() *obs.FaultCounters { return &st.fault }
+
+// setCheckpoint attaches per-run checkpoint state (Engine.SetCheckpoint
+// builds it). Do not call concurrently with Run.
+func (st *SolveStage) setCheckpoint(c *ckptRun) { st.ckpt = c }
 
 // ScratchStats snapshots the scratch arena's buffer-reuse counters.
 func (st *SolveStage) ScratchStats() ScratchStats { return st.arena.stats() }
@@ -55,15 +66,25 @@ type SolveOutput struct {
 // Run executes the plan. On cancellation it returns a *CanceledError
 // (matching ErrCanceled) carrying how many windows completed; the
 // scratch arena is left consistent — every kernel's Finalize runs even
-// on the cancel path — so the stage can be reused immediately.
+// on the cancel path — so the stage can be reused immediately. Window
+// faults (panics, injected errors) are absorbed by the fault policy:
+// failed windows retry, degrade to the serial SpMV kernel, and finally
+// quarantine in the results, so the only error paths out of a started
+// run are cancellation, fail-fast (a *WindowError when
+// Cfg.Fault.FailFast is set), and validation.
 func (st *SolveStage) Run(ctx context.Context, plan *SolvePlan) (SolveOutput, error) {
 	r := &solveRun{
 		plan:     plan,
 		arena:    st.arena,
 		trace:    st.trace,
 		kern:     plan.Kernel,
+		fault:    &st.fault,
+		ckpt:     st.ckpt,
 		results:  make([]WindowResult, plan.Windows),
 		mwSweeps: make([]int64, len(plan.Temporal.MWs)),
+	}
+	if dk, ok := LookupKernel(SpMV.String()); ok {
+		r.degrade = dk
 	}
 	if plan.Cfg.Validate {
 		r.val = &runValidator{}
@@ -95,11 +116,20 @@ func (st *SolveStage) Run(ctx context.Context, plan *SolvePlan) (SolveOutput, er
 		if ctx != nil {
 			cause = ctx.Err()
 		}
-		return SolveOutput{}, &CanceledError{
+		ce := &CanceledError{
 			Completed: int(r.completed.Load()),
 			Total:     plan.Windows,
 			Cause:     cause,
 		}
+		if st.ckpt != nil {
+			// Every window counted in Completed was flushed before the
+			// count moved, so the caller can report a resumable path.
+			ce.Checkpoint = st.ckpt.store.Dir()
+		}
+		return SolveOutput{}, ce
+	}
+	if we := r.abort.Load(); we != nil {
+		return SolveOutput{}, we
 	}
 	if r.val != nil {
 		if err := r.val.err(); err != nil {
@@ -135,11 +165,17 @@ type solveRun struct {
 	trace    *obs.Trace
 	val      *runValidator // nil unless Cfg.Validate
 	kern     Kernel
+	degrade  Kernel             // serial fallback kernel (spmv); nil if unregistered
+	fault    *obs.FaultCounters // stage-owned fault/checkpoint counters
+	ckpt     *ckptRun           // nil = no checkpointing
 	results  []WindowResult
 	mwSweeps []int64
 
 	canceledFlag atomic.Bool
 	completed    atomic.Int64
+	// abort carries the first fail-fast quarantine; drivers poll it like
+	// the cancel flag and Run returns it as the run's error.
+	abort atomic.Pointer[WindowError]
 }
 
 func (r *solveRun) canceled() bool { return r.canceledFlag.Load() }
@@ -196,6 +232,11 @@ func (r *solveRun) dispatch(ctx context.Context, pool *sched.Pool) {
 // warm-starts iff its predecessor was computed in this same range and
 // lives in the same multi-window graph — exactly the paper's "if the
 // same thread processes Gi-1 and Gi, partial initialization occurs".
+// Each window runs under the fault policy (solveBatchFT): a failed
+// window retries, degrades, or quarantines, and its successor then
+// warm-starts from whatever vector survived (a quarantined window
+// leaves nil, so the successor cold-starts from the uniform vector).
+// Windows held by a resume checkpoint are restored instead of solved.
 func (r *solveRun) windowRange(lo, hi, wid int, loop forLoop) {
 	sb, release := r.arena.acquire(wid)
 	defer release()
@@ -211,28 +252,46 @@ func (r *solveRun) windowRange(lo, hi, wid int, loop forLoop) {
 	liveBuf := sb.getInt(1)
 	var prev []float64
 	var prevMW *tcsr.MultiWindow
+	// stage is the (single, hoisted) re-staging closure solveBatchFT
+	// calls before every attempt; cur* carry the window being attempted.
+	var curW, curWid int
+	var curMW *tcsr.MultiWindow
+	var curInit []float64
+	stage := func() {
+		b.mw = curMW
+		b.views[0] = curMW.ViewOf(curW)
+		b.inits[0] = curInit
+		b.results[0] = WindowResult{Window: curW, Worker: curWid, mw: curMW}
+		b.live = liveBuf[:0]
+		b.isLive[0] = false
+	}
 	for w := lo; w < hi; w++ {
-		if r.canceled() {
+		if r.canceled() || r.aborted() {
 			break
 		}
 		mw := r.plan.Temporal.ForWindow(w)
-		b.mw = mw
-		b.views[0] = mw.ViewOf(w)
-		if cfg.PartialInit && prevMW == mw && prev != nil {
-			b.inits[0] = prev
-		} else {
-			b.inits[0] = nil
+		if cw := r.resumedWindow(w); cw != nil {
+			res := &r.results[w]
+			restoreResult(res, cw, mw, wid)
+			r.fault.CheckpointResumed.Inc()
+			prev, prevMW = res.ranks, mw
+			r.completed.Add(1)
+			continue
 		}
+		if cfg.PartialInit && prevMW == mw && prev != nil {
+			curInit = prev
+		} else {
+			curInit = nil
+		}
+		curW, curWid, curMW = w, wid, mw
 		b.results = r.results[w : w+1]
-		res := &b.results[0]
-		res.Window = w
-		res.Worker = wid
-		res.mw = mw
-		b.live = liveBuf[:0]
-		b.isLive[0] = false
+		stage()
 		t0 := time.Now()
-		r.runBatch(&b)
+		if !r.solveBatchFT(&b, stage, PointSolveWindow) {
+			break // canceled or fail-fast aborted mid-attempt
+		}
 		dur := time.Since(t0)
+		res := &b.results[0]
 		res.WallSeconds = dur.Seconds()
 		if r.trace != nil {
 			r.trace.Complete(fmt.Sprintf("window %d", w), "window", traceTID(wid), t0, dur,
@@ -241,7 +300,9 @@ func (r *solveRun) windowRange(lo, hi, wid int, loop forLoop) {
 					"active": res.ActiveVertices, "warm_start": res.UsedPartialInit,
 				})
 		}
-		r.validateWindow(res)
+		if res.Status != WindowFailed {
+			r.validateWindow(res)
+		}
 		if cfg.DiscardRanks && prev != nil {
 			// The predecessor vector has served its warm start; recycle.
 			sb.putF64(prev)
@@ -250,6 +311,7 @@ func (r *solveRun) windowRange(lo, hi, wid int, loop forLoop) {
 		if cfg.DiscardRanks {
 			res.ranks = nil
 		}
+		r.checkpointWindow(res)
 		r.completed.Add(1)
 	}
 	if cfg.DiscardRanks && prev != nil {
@@ -265,7 +327,7 @@ func (r *solveRun) windowRange(lo, hi, wid int, loop forLoop) {
 // kernel.
 func (r *solveRun) unitRange(lo, hi, wid int, loop forLoop) {
 	for i := lo; i < hi; i++ {
-		if r.canceled() {
+		if r.canceled() || r.aborted() {
 			return
 		}
 		r.solveUnit(i, wid, loop)
@@ -301,19 +363,20 @@ func (r *solveRun) solveUnit(ui, wid int, loop forLoop) {
 	isLiveBuf := sb.getBool(K)
 	b := Batch{cfg: cfg, scratch: sb, loop: loop, mw: mw}
 
-	for j := 0; j < u.NumBatches; j++ {
-		if r.canceled() {
-			break
-		}
+	// stage re-stages batch curJ from scratch; solveBatchFT calls it
+	// before every attempt, so retries see the exact inputs (including
+	// warm-start vectors from ranksByOffset) of the first attempt.
+	var curJ int
+	stage := func() {
 		slots := 0
 		for reg := 0; reg < K; reg++ {
-			off := u.RegionStart[reg] + j
+			off := u.RegionStart[reg] + curJ
 			if off >= u.RegionStart[reg+1] {
 				continue
 			}
 			w := mw.WinLo + off
 			viewsBuf[slots] = mw.ViewOf(w)
-			if j > 0 && cfg.PartialInit {
+			if curJ > 0 && cfg.PartialInit {
 				initsBuf[slots] = ranksByOffset[off-1]
 			} else {
 				initsBuf[slots] = nil
@@ -327,8 +390,20 @@ func (r *solveRun) solveUnit(ui, wid int, loop forLoop) {
 		b.results = resultsBuf[:slots]
 		b.isLive = isLiveBuf[:slots]
 		b.live = liveBuf[:0]
+	}
+	for j := 0; j < u.NumBatches; j++ {
+		if r.canceled() || r.aborted() {
+			break
+		}
+		if r.restoreBatch(u, j, wid, ranksByOffset) {
+			continue
+		}
+		curJ = j
+		stage()
 		t0 := time.Now()
-		r.runBatch(&b)
+		if !r.solveBatchFT(&b, stage, PointSolveBatch) {
+			break // canceled or fail-fast aborted mid-attempt
+		}
 		dur := time.Since(t0)
 		// One SpMM sweep of the shared CSR advances every live window
 		// of the batch, so the batch's sweep count is its iteration
@@ -340,19 +415,22 @@ func (r *solveRun) solveUnit(ui, wid int, loop forLoop) {
 				sweeps = it
 			}
 			res.WallSeconds = dur.Seconds()
-			r.validateWindow(res)
+			if res.Status != WindowFailed {
+				r.validateWindow(res)
+			}
 			ranksByOffset[res.Window-mw.WinLo] = res.ranks
 			if cfg.DiscardRanks {
 				res.ranks = nil
 			}
 			r.results[res.Window] = *res
+			r.checkpointWindow(&r.results[res.Window])
 			r.completed.Add(1)
 		}
 		r.mwSweeps[ui] += sweeps
 		if r.trace != nil {
 			r.trace.Complete(fmt.Sprintf("mw %d batch %d", ui, j), "batch", traceTID(wid), t0, dur,
 				map[string]interface{}{
-					"mw": ui, "batch": j, "windows": slots,
+					"mw": ui, "batch": j, "windows": len(b.results),
 					"first_window": b.results[0].Window, "sweeps": sweeps,
 				})
 		}
@@ -389,13 +467,23 @@ func (r *solveRun) solveUnit(ui, wid int, loop forLoop) {
 // Init stages and marks live slots, each iteration advances the live
 // set and retires slots whose residual drops below the tolerance, and
 // Finalize always runs — cancellation included — so the scratch lease
-// is returned on every exit path.
-func (r *solveRun) runBatch(b *Batch) {
-	kern := r.kern
+// is returned on every exit path. kern is the attempting kernel: the
+// plan's on the normal path, the serial SpMV fallback on the degrade
+// path.
+func (r *solveRun) runBatch(kern Kernel, b *Batch) {
+	b.truncated = false
+	if r.canceled() {
+		// Canceled before staging: leave the batch undecided instead of
+		// letting a trivially convergent one (e.g. all-empty windows,
+		// whose loop below never runs) complete after the cancel landed.
+		b.truncated = true
+		return
+	}
 	kern.Init(b)
 	opt := b.cfg.Opts
 	for it := 0; it < opt.MaxIter && len(b.live) > 0; it++ {
 		if r.canceled() {
+			b.truncated = true
 			break
 		}
 		for _, s := range b.live {

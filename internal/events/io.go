@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"pmpr/internal/fault"
 )
 
 // Text format: one event per line, "u v t" separated by whitespace or
@@ -21,6 +23,19 @@ const (
 	binaryMagic   = "PMEV"
 	binaryVersion = 1
 )
+
+// Fault-injection points covering event-log IO (see internal/fault).
+const (
+	// PointReadText fires at the top of ReadText.
+	PointReadText = "events.read_text"
+	// PointReadBinary fires at the top of ReadBinary.
+	PointReadBinary = "events.read_binary"
+)
+
+func init() {
+	fault.RegisterPoint(PointReadText, "text event-log parse entry")
+	fault.RegisterPoint(PointReadBinary, "binary event-log parse entry")
+}
 
 // WriteText writes the log in text form.
 func WriteText(w io.Writer, l *Log) error {
@@ -37,6 +52,9 @@ func WriteText(w io.Writer, l *Log) error {
 // ReadText parses a text event list. The result is sorted by timestamp
 // if the input is not already sorted.
 func ReadText(r io.Reader) (*Log, error) {
+	if err := fault.Inject(PointReadText); err != nil {
+		return nil, err
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var evs []Event
@@ -103,8 +121,14 @@ func WriteBinary(w io.Writer, l *Log) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the binary form written by WriteBinary.
+// ReadBinary parses the binary form written by WriteBinary. Every
+// header field is validated before use and the stream must end exactly
+// after the last record, so a truncated, padded, or corrupted file is
+// reported as an error instead of yielding a silently wrong log.
 func ReadBinary(r io.Reader) (*Log, error) {
+	if err := fault.Inject(PointReadBinary); err != nil {
+		return nil, err
+	}
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -121,6 +145,9 @@ func ReadBinary(r io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("events: unsupported version %d", v)
 	}
 	numVertices := int32(binary.LittleEndian.Uint32(hdr[4:8]))
+	if numVertices < 0 {
+		return nil, fmt.Errorf("events: negative vertex count %d", numVertices)
+	}
 	count := binary.LittleEndian.Uint64(hdr[8:16])
 	const maxReasonable = 1 << 34
 	if count > maxReasonable {
@@ -140,6 +167,9 @@ func ReadBinary(r io.Reader) (*Log, error) {
 			V: int32(binary.LittleEndian.Uint32(rec[4:8])),
 			T: int64(binary.LittleEndian.Uint64(rec[8:16])),
 		})
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("events: trailing bytes after %d events", count)
 	}
 	return NewLog(evs, numVertices)
 }

@@ -2,10 +2,13 @@ package events
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
+
+	"pmpr/internal/fault"
 )
 
 func randomLog(t *testing.T, seed int64, n int) *Log {
@@ -131,5 +134,54 @@ func TestReadBinaryRejectsCorrupt(t *testing.T) {
 	}
 	if _, err := ReadBinary(bytes.NewReader(bad2)); err == nil {
 		t.Error("implausible count accepted")
+	}
+	// Negative vertex count (top bit of the int32 field set).
+	bad3 := append([]byte(nil), full...)
+	bad3[11] |= 0x80
+	if _, err := ReadBinary(bytes.NewReader(bad3)); err == nil {
+		t.Error("negative vertex count accepted")
+	}
+	// Trailing garbage after the final record.
+	padded := append(append([]byte(nil), full...), 0xAB)
+	if _, err := ReadBinary(bytes.NewReader(padded)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	// An event whose vertex id exceeds the header's vertex count must be
+	// rejected by log construction, not silently produce an oversized
+	// graph. Record layout: u at offset 20 of the first record.
+	bad4 := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint32(bad4[20:24], 1<<30)
+	if _, err := ReadBinary(bytes.NewReader(bad4)); err == nil {
+		t.Error("out-of-range vertex id accepted")
+	}
+	// A record with a timestamp before its predecessor breaks the
+	// sortedness invariant every consumer relies on.
+	if l.Len() >= 2 {
+		bad5 := append([]byte(nil), full...)
+		binary.LittleEndian.PutUint64(bad5[28:36], uint64(1<<40)) // first record's T
+		if _, err := ReadBinary(bytes.NewReader(bad5)); err == nil {
+			t.Error("unsorted events accepted")
+		}
+	}
+}
+
+// TestReadBinaryFaultInjection verifies the IO fault points surface as
+// ordinary errors.
+func TestReadBinaryFaultInjection(t *testing.T) {
+	defer fault.Reset()
+	l := randomLog(t, 4, 5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, l); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	cancel := fault.Arm(fault.Rule{Point: PointReadBinary, Mode: fault.ModeError, Count: 1})
+	defer cancel()
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("armed read_binary fault did not surface")
+	}
+	cancel2 := fault.Arm(fault.Rule{Point: PointReadText, Mode: fault.ModeError, Count: 1})
+	defer cancel2()
+	if _, err := ReadText(strings.NewReader("1 2 3\n")); err == nil {
+		t.Fatal("armed read_text fault did not surface")
 	}
 }

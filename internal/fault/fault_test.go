@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFastPath(t *testing.T) {
+	r := NewRegistry(1)
+	if r.Enabled() {
+		t.Fatal("fresh registry reports enabled")
+	}
+	if err := r.Inject("some.point"); err != nil {
+		t.Fatalf("disarmed Inject: %v", err)
+	}
+	if got := r.Injected(); got != 0 {
+		t.Fatalf("Injected = %d, want 0", got)
+	}
+}
+
+func TestErrorModeCountAndAfter(t *testing.T) {
+	r := NewRegistry(1)
+	cancel := r.Arm(Rule{Point: "p", Mode: ModeError, After: 2, Count: 2})
+	defer cancel()
+
+	var errs int
+	for i := 0; i < 5; i++ {
+		if err := r.Inject("p"); err != nil {
+			errs++
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Point != "p" {
+				t.Fatalf("hit %d: error %v is not a fault at p", i, err)
+			}
+			if i == 0 {
+				t.Fatal("fired on the first hit despite after=2")
+			}
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("fired %d times, want 2 (after=2, count=2)", errs)
+	}
+	if got := r.Injected(); got != 2 {
+		t.Fatalf("Injected = %d, want 2", got)
+	}
+}
+
+func TestCancelRemovesRule(t *testing.T) {
+	r := NewRegistry(1)
+	cancel := r.Arm(Rule{Point: "p", Mode: ModeError, Count: 0})
+	if err := r.Inject("p"); err == nil {
+		t.Fatal("armed rule did not fire")
+	}
+	cancel()
+	if r.Enabled() {
+		t.Fatal("registry still enabled after the only rule was canceled")
+	}
+	if err := r.Inject("p"); err != nil {
+		t.Fatalf("after cancel: %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	r := NewRegistry(1)
+	defer r.Arm(Rule{Point: "p", Mode: ModePanic})()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("ModePanic did not panic")
+		}
+		fe, ok := rec.(*Error)
+		if !ok || fe.Point != "p" {
+			t.Fatalf("panic value = %#v, want *Error at p", rec)
+		}
+	}()
+	_ = r.Inject("p")
+}
+
+func TestDelayMode(t *testing.T) {
+	r := NewRegistry(1)
+	defer r.Arm(Rule{Point: "p", Mode: ModeDelay, Delay: 20 * time.Millisecond})()
+	start := time.Now()
+	if err := r.Inject("p"); err != nil {
+		t.Fatalf("delay mode returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay mode slept only %v", d)
+	}
+}
+
+func TestProbDeterministicUnderSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		r := NewRegistry(seed)
+		defer r.Arm(Rule{Point: "p", Mode: ModeError, Prob: 0.5, Count: 0})()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = r.Inject("p") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical firing patterns (suspicious)")
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	rule, err := ParseRule("core.solve.window:panic:after=3,count=0,msg=boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Rule{Point: "core.solve.window", Mode: ModePanic, After: 3, Count: 0, Msg: "boom"}
+	if rule != want {
+		t.Fatalf("ParseRule = %+v, want %+v", rule, want)
+	}
+	if _, err := ParseRule("p"); err == nil {
+		t.Fatal("missing mode accepted")
+	}
+	if _, err := ParseRule("p:explode"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := ParseRule("p:error:count=x"); err == nil {
+		t.Fatal("bad count accepted")
+	}
+	if _, err := ParseRule("p:error:frequency=2"); err == nil {
+		t.Fatal("unknown option accepted")
+	}
+}
+
+func TestArmSpecMultipleAndUndo(t *testing.T) {
+	r := NewRegistry(1)
+	cancel, err := r.ArmSpec("a:error; b:delay:delay=1ms ;; c:error:count=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Inject("a"); err == nil {
+		t.Fatal("a not armed")
+	}
+	if err := r.Inject("c"); err == nil {
+		t.Fatal("c not armed")
+	}
+	cancel()
+	if r.Enabled() {
+		t.Fatal("registry enabled after spec cancel")
+	}
+	if _, err := r.ArmSpec("a:error; bad"); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if r.Enabled() {
+		t.Fatal("failed ArmSpec left rules armed")
+	}
+}
+
+func TestPointCatalog(t *testing.T) {
+	r := NewRegistry(1)
+	r.RegisterPoint("b.point", "second")
+	r.RegisterPoint("a.point", "first")
+	pts := r.Points()
+	if len(pts) != 2 || pts[0] != "a.point" || pts[1] != "b.point" {
+		t.Fatalf("Points = %v", pts)
+	}
+	if r.Describe("a.point") != "first" {
+		t.Fatalf("Describe = %q", r.Describe("a.point"))
+	}
+}
+
+func TestDefaultWrappers(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	defer Arm(Rule{Point: "wrap.p", Mode: ModeError})()
+	if !Enabled() {
+		t.Fatal("default registry not enabled")
+	}
+	if err := Inject("wrap.p"); err == nil {
+		t.Fatal("default Inject did not fire")
+	}
+}

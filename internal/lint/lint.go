@@ -69,6 +69,7 @@ type Analyzer interface {
 func Analyzers() []Analyzer {
 	return []Analyzer{
 		panicRule{},
+		recovercheckRule{},
 		hotpathRule{},
 		floateqRule{},
 		closecheckRule{},

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// recovercheckRule flags recover() calls that discard the recovered
+// value: a bare `recover()` statement, `_ = recover()`, or
+// `defer recover()`. A recover that drops the panic value swallows the
+// failure silently — the fault-tolerance layer requires every recovered
+// panic to be converted into a structured error (see
+// core.RecoveredPanic) so it can be retried, degraded, or reported.
+// `defer recover()` additionally never stops unwinding at all: recover
+// is only effective when called directly inside the deferred function.
+type recovercheckRule struct{}
+
+func (recovercheckRule) Name() string { return "recovercheck" }
+func (recovercheckRule) Doc() string {
+	return "recover() must bind its result and convert it into a structured error, not discard it"
+}
+
+func (r recovercheckRule) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if isRecoverCall(pkg, st.X) {
+					pkg.findingf(&out, st, r.Name(),
+						"recover() result discarded; bind it and convert the panic into a structured error")
+				}
+			case *ast.DeferStmt:
+				if isRecoverCall(pkg, st.Call) {
+					pkg.findingf(&out, st, r.Name(),
+						"defer recover() never stops unwinding; call recover inside a deferred function and handle its result")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range st.Rhs {
+					if !isRecoverCall(pkg, rhs) || i >= len(st.Lhs) {
+						continue
+					}
+					if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						pkg.findingf(&out, st, r.Name(),
+							"recover() assigned to blank; bind it and convert the panic into a structured error")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isRecoverCall reports whether expr calls the recover builtin.
+func isRecoverCall(pkg *Package, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "recover" {
+		return false
+	}
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		if _, builtin := obj.(*types.Builtin); !builtin {
+			return false // shadowed: a local function named recover
+		}
+	}
+	return true
+}

@@ -467,3 +467,67 @@ func kernel(b *batch, s *state, xs []int) {
 		t.Fatalf("field-bound body: want 1 finding (fmt), got %d: %v", len(fs), fs)
 	}
 }
+
+func TestRecovercheckRule(t *testing.T) {
+	bad := `package core
+func a() {
+	defer func() {
+		recover()
+	}()
+}
+func b() {
+	defer func() {
+		_ = recover()
+	}()
+}
+func c() {
+	defer recover()
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/core", "rec.go", bad)
+	fs := runRule(t, "recovercheck", pkg)
+	if len(fs) != 3 {
+		t.Fatalf("want 3 findings (bare, blank, defer), got %d: %v", len(fs), fs)
+	}
+
+	// Binding and converting the recovered value conforms.
+	good := `package core
+import "fmt"
+func f() (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("recovered: %v", rec)
+		}
+	}()
+	return nil
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "rec_good.go", good)
+	if fs := runRule(t, "recovercheck", pkg); len(fs) != 0 {
+		t.Errorf("conforming recover: want 0 findings, got %v", fs)
+	}
+
+	// A local function shadowing the builtin is not a recover.
+	shadow := `package core
+func recover() int { return 0 }
+func g() { recover() }
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "rec_shadow.go", shadow)
+	if fs := runRule(t, "recovercheck", pkg); len(fs) != 0 {
+		t.Errorf("shadowed recover: want 0 findings, got %v", fs)
+	}
+
+	// Suppression with a rationale works like every other rule.
+	suppressed := `package core
+func h() {
+	defer func() {
+		//pmvet:ignore recovercheck -- probe: any panic here is benign
+		recover()
+	}()
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/core", "rec_suppressed.go", suppressed)
+	if fs := runRule(t, "recovercheck", pkg); len(fs) != 0 {
+		t.Errorf("suppressed finding still reported: %v", fs)
+	}
+}

@@ -47,6 +47,41 @@ func (c *RunCounters) RegisterOn(r *Registry, prefix string) {
 	r.RegisterCounter(prefix+"_canceled_total", "solve runs canceled mid-solve", &c.Canceled)
 }
 
+// FaultCounters tracks the solve stage's fault-tolerance activity:
+// recovered panics, retried and degraded solves, quarantined windows,
+// and checkpoint traffic. Like RunCounters, owners embed the struct
+// and increment plain atomics; RegisterOn exposes them for scraping.
+type FaultCounters struct {
+	// PanicsRecovered counts window/batch attempts that failed by panic
+	// and were converted into structured errors.
+	PanicsRecovered Counter
+	// Retries counts re-attempts of failed window/batch solves.
+	Retries Counter
+	// Degraded counts windows re-solved by the serial-SpMV fallback.
+	Degraded Counter
+	// Quarantined counts windows that failed terminally.
+	Quarantined Counter
+	// CheckpointWindows counts window checkpoints written.
+	CheckpointWindows Counter
+	// CheckpointResumed counts windows skipped because a checkpoint
+	// already held their result.
+	CheckpointResumed Counter
+	// CheckpointErrors counts failed checkpoint writes.
+	CheckpointErrors Counter
+}
+
+// RegisterOn publishes the counters on r under the prefix (e.g.
+// "pmpr_engine_fault").
+func (c *FaultCounters) RegisterOn(r *Registry, prefix string) {
+	r.RegisterCounter(prefix+"_panics_recovered_total", "solve panics converted to errors", &c.PanicsRecovered)
+	r.RegisterCounter(prefix+"_retries_total", "window/batch solve retries", &c.Retries)
+	r.RegisterCounter(prefix+"_degraded_total", "windows re-solved by the serial fallback", &c.Degraded)
+	r.RegisterCounter(prefix+"_quarantined_total", "windows failed terminally", &c.Quarantined)
+	r.RegisterCounter(prefix+"_checkpoint_windows_total", "window checkpoints written", &c.CheckpointWindows)
+	r.RegisterCounter(prefix+"_checkpoint_resumed_total", "windows resumed from checkpoint", &c.CheckpointResumed)
+	r.RegisterCounter(prefix+"_checkpoint_errors_total", "failed checkpoint writes", &c.CheckpointErrors)
+}
+
 type metric struct {
 	name string
 	help string

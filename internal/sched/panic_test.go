@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// catchPanic runs fn and returns the recovered panic value (nil if fn
+// returned normally).
+func catchPanic(fn func()) (rec any) {
+	defer func() { rec = recover() }()
+	fn()
+	return nil
+}
+
+func TestLeafPanicPropagatesToSubmitter(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	boom := errors.New("boom")
+	rec := catchPanic(func() {
+		p.ParallelFor(1000, 1, Simple, func(_ *Worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i == 537 {
+					panic(boom)
+				}
+			}
+		})
+	})
+	pe, ok := rec.(*PanicError)
+	if !ok {
+		t.Fatalf("recovered %#v, want *PanicError", rec)
+	}
+	if pe.Value != boom {
+		t.Fatalf("PanicError.Value = %v, want %v", pe.Value, boom)
+	}
+	if !errors.Is(pe, boom) {
+		t.Fatal("errors.Is(pe, boom) = false; Unwrap broken")
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError.Stack is empty")
+	}
+
+	// The pool must remain fully usable after a panicked job.
+	var sum atomic.Int64
+	p.ParallelFor(100, 1, Auto, func(_ *Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if sum.Load() != 4950 {
+		t.Fatalf("pool broken after panic: sum = %d, want 4950", sum.Load())
+	}
+}
+
+func TestLeafPanicAbandonsRemainingSpans(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+
+	var executed atomic.Int64
+	rec := catchPanic(func() {
+		p.ParallelFor(10000, 1, Simple, func(_ *Worker, lo, hi int) {
+			executed.Add(int64(hi - lo))
+			panic("first leaf dies")
+		})
+	})
+	if rec == nil {
+		t.Fatal("no panic propagated")
+	}
+	// Some leaves may already be in flight on other workers when the
+	// first panic lands, but the vast majority must be skipped.
+	if n := executed.Load(); n > 5000 {
+		t.Fatalf("%d of 10000 indices executed after a leaf panic; spans were not abandoned", n)
+	}
+}
+
+func TestNestedLeafPanicPropagatesThroughForkChain(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	// Outer body catches the inner loop's re-raised panic: this is the
+	// seam core's per-window isolation relies on — a panic in a nested
+	// vertex loop surfaces at the worker that forked it, not on the
+	// thief that executed the leaf.
+	var caught atomic.Int64
+	p.ParallelFor(8, 1, Simple, func(w *Worker, lo, hi int) {
+		rec := catchPanic(func() {
+			w.ParallelFor(256, 1, Simple, func(_ *Worker, ilo, ihi int) {
+				if ilo <= 100 && 100 < ihi {
+					panic(fmt.Sprintf("inner %d", lo))
+				}
+			})
+		})
+		if rec != nil {
+			caught.Add(1)
+		}
+	})
+	if caught.Load() != int64(8) {
+		t.Fatalf("caught %d inner panics, want 8", caught.Load())
+	}
+}
+
+func TestStaticLeafPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	rec := catchPanic(func() {
+		p.ParallelFor(1000, 10, Static, func(_ *Worker, lo, hi int) {
+			if lo <= 500 && 500 < hi {
+				panic("static leaf")
+			}
+		})
+	})
+	if _, ok := rec.(*PanicError); !ok {
+		t.Fatalf("recovered %#v, want *PanicError", rec)
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	rec := catchPanic(func() {
+		p.Run(func(*Worker) { panic("run body") })
+	})
+	pe, ok := rec.(*PanicError)
+	if !ok || pe.Value != "run body" {
+		t.Fatalf("recovered %#v, want *PanicError{run body}", rec)
+	}
+}
+
+func TestPanicThenReuseUnderLoad(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for round := 0; round < 50; round++ {
+		rec := catchPanic(func() {
+			p.ParallelFor(64, 1, Auto, func(_ *Worker, lo, hi int) {
+				if lo == 0 {
+					panic(round)
+				}
+			})
+		})
+		if rec == nil {
+			t.Fatalf("round %d: panic lost", round)
+		}
+		var n atomic.Int64
+		p.ParallelFor(64, 1, Auto, func(_ *Worker, lo, hi int) { n.Add(int64(hi - lo)) })
+		if n.Load() != 64 {
+			t.Fatalf("round %d: pool degraded, %d/64 leaves ran", round, n.Load())
+		}
+	}
+}

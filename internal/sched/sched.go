@@ -27,10 +27,35 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// PanicError carries a panic recovered from a loop body that executed
+// on a pool worker. Leaf bodies run on whichever worker pops their
+// span, so an unhandled panic would unwind an unrelated worker
+// goroutine and kill the process; instead the pool captures the first
+// panic of a job, abandons the job's remaining spans, and re-raises a
+// *PanicError at the submitting ParallelFor/Run call site — the
+// goroutine whose defers can actually handle it. Value is the original
+// panic value and Stack the stack of the panicking leaf.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the captured panic.
+func (e *PanicError) Error() string { return fmt.Sprintf("sched: panic in loop body: %v", e.Value) }
+
+// Unwrap exposes an underlying error panic value to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Partitioner selects the range-splitting policy of a parallel loop.
 type Partitioner int
@@ -83,6 +108,34 @@ type job struct {
 	// not allocate.
 	doneFlag atomic.Bool
 	done     chan struct{}
+	// panicVal holds the first panic captured from a leaf body; later
+	// spans of the job are drained without executing (like a canceled
+	// job) and the submitter re-raises the value after the join.
+	panicVal atomic.Pointer[PanicError]
+}
+
+// execBody runs one leaf call of the job's body, capturing a panic
+// into panicVal (first one wins) instead of letting it unwind the
+// worker goroutine.
+func (j *job) execBody(w *Worker, lo, hi int) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			j.panicVal.CompareAndSwap(nil, &PanicError{Value: rec, Stack: debug.Stack()})
+		}
+	}()
+	j.body(w, lo, hi)
+}
+
+// rethrow re-raises a captured leaf panic at the submitter, after the
+// join has drained every span. Callers must not touch j afterwards.
+func (j *job) rethrow(p *Pool) {
+	if pe := j.panicVal.Load(); pe != nil {
+		p.recycleJob(j)
+		// Deliberate propagation: the panic originated in caller-supplied
+		// code and belongs on the caller's goroutine.
+		//pmvet:ignore panic -- re-raising a captured loop-body panic at the submitting call site
+		panic(pe)
+	}
 }
 
 func (j *job) finish(leaves int64) {
@@ -98,11 +151,16 @@ func (j *job) finish(leaves int64) {
 	}
 }
 
-// canceled reports whether the job's context has been canceled. It is
-// polled cooperatively by the work-stealing loop before every leaf
-// execution, so a canceled loop stops promptly at the next span
+// canceled reports whether the job should stop executing leaves: its
+// context has been canceled, or a leaf already panicked (a panicked
+// job abandons its remaining work the same way a canceled one does).
+// It is polled cooperatively by the work-stealing loop before every
+// leaf execution, so an abandoned loop stops promptly at the next span
 // boundary (already-running leaf bodies finish).
 func (j *job) canceled() bool {
+	if j.panicVal.Load() != nil {
+		return true
+	}
 	return j.ctx != nil && j.ctx.Err() != nil
 }
 
@@ -354,11 +412,11 @@ func (w *Worker) process(s span) {
 				// the single span-level finish below still runs.
 				break
 			}
-			j.body(w, lo, hi)
+			j.execBody(w, lo, hi)
 			leaves++
 		}
 	} else {
-		j.body(w, s.lo, s.hi)
+		j.execBody(w, s.lo, s.hi)
 	}
 	if m != nil {
 		m.tasks.Add(leaves)
@@ -402,6 +460,7 @@ func (p *Pool) newJob(ctx context.Context, n, grain int, part Partitioner, body 
 	j.ctx = ctx
 	j.doneFlag.Store(false)
 	j.done = nil
+	j.panicVal.Store(nil)
 	return j
 }
 
@@ -483,6 +542,7 @@ func (p *Pool) ParallelForCtx(ctx context.Context, n, grain int, part Partitione
 	j.done = make(chan struct{})
 	p.seed(j, n, nil)
 	<-j.done
+	j.rethrow(p)
 	p.recycleJob(j)
 	if ctx != nil {
 		return ctx.Err()
@@ -514,6 +574,7 @@ func (w *Worker) ParallelForCtx(ctx context.Context, n, grain int, part Partitio
 	j := w.pool.newJob(ctx, n, grain, part, body)
 	w.pool.seed(j, n, w)
 	w.helpUntil(j)
+	j.rethrow(w.pool)
 	w.pool.recycleJob(j)
 	if ctx != nil {
 		return ctx.Err()
