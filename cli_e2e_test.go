@@ -6,12 +6,21 @@ package pmpr
 // real binaries via `go run`.
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
+	"pmpr/internal/obs"
 	"pmpr/internal/results"
 )
 
@@ -80,6 +89,238 @@ func TestCLIEndToEnd(t *testing.T) {
 	out = runTool(t, "./cmd/pmbench", "-exp", "table1", "-quick", "-scale", "0.02")
 	if !strings.Contains(out, "enron") || !strings.Contains(out, "wikitalk") {
 		t.Fatalf("pmbench table1 output incomplete:\n%s", out)
+	}
+}
+
+// e2eFrame is one SSE frame off the /events stream.
+type e2eFrame struct {
+	id    uint64
+	event string
+	data  string
+}
+
+// readFrame parses the next SSE frame (skipping heartbeat comments).
+func readFrame(r *bufio.Reader) (e2eFrame, error) {
+	var f e2eFrame
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return f, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if f.data != "" || f.event != "" {
+				return f, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseUint(line[len("id: "):], 10, 64)
+			if err != nil {
+				return f, fmt.Errorf("bad id line %q: %v", line, err)
+			}
+			f.id = id
+		case strings.HasPrefix(line, "event: "):
+			f.event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			f.data = line[len("data: "):]
+		default:
+			return f, fmt.Errorf("unexpected SSE line %q", line)
+		}
+	}
+}
+
+// TestCLILiveObservability drives the full live path end to end: build
+// the real pmrank binary, run it with -live and -journal-out against a
+// generated dataset (a per-window delay faultpoint stretches the solve
+// so the run is observably in flight), then assert /status reports a
+// mid-solve snapshot, /events streams ordered window_done frames with
+// a lossless Last-Event-ID resume, and the journal file validates with
+// pmtop -validate.
+func TestCLILiveObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	ev := filepath.Join(tmp, "enron.ev")
+	journal := filepath.Join(tmp, "run.jsonl")
+	runTool(t, "./cmd/pmgen", "-dataset", "enron", "-scale", "0.02", "-seed", "3", "-o", ev, "-format", "binary")
+
+	bin := filepath.Join(tmp, "pmrank")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/pmrank").CombinedOutput(); err != nil {
+		t.Fatalf("go build pmrank: %v\n%s", err, out)
+	}
+
+	const windows = 12
+	cmd := exec.Command(bin, "-in", ev, "-delta-days", "365", "-slide", "172800",
+		"-max-windows", strconv.Itoa(windows), "-kernel", "spmv", "-workers", "1",
+		"-metrics-addr", "127.0.0.1:0", "-live", "-journal-out", journal)
+	// spmv windows pass the core.solve.window faultpoint; 25ms per
+	// window keeps the run in flight for ~300ms without slowing CI much.
+	cmd.Env = append(os.Environ(), "PMPR_FAULTPOINTS=core.solve.window:delay:delay=25ms,count=0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start pmrank: %v", err)
+	}
+	killed := time.AfterFunc(90*time.Second, func() { cmd.Process.Kill() })
+	defer killed.Stop()
+	defer cmd.Process.Kill()
+
+	// Collect pmrank's output and watch for the bound address.
+	addrRe := regexp.MustCompile(`serving metrics on http://([^/]+)/`)
+	addrCh := make(chan string, 1)
+	outDone := make(chan string, 1)
+	go func() {
+		var all strings.Builder
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			all.WriteString(line)
+			all.WriteByte('\n')
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+		outDone <- all.String()
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case out := <-outDone:
+		t.Fatalf("pmrank exited before serving metrics:\n%s", out)
+	case <-time.After(60 * time.Second):
+		t.Fatal("timed out waiting for the metrics address")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Second)
+	defer cancel()
+	stream := func(lastEventID uint64) (*bufio.Reader, func()) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastEventID > 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatUint(lastEventID, 10))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cmd.Process.Kill()
+			t.Fatalf("GET /events: %v\npmrank output:\n%s", err, <-outDone)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /events: %s", resp.Status)
+		}
+		return bufio.NewReader(resp.Body), func() { resp.Body.Close() }
+	}
+	r, closeStream := stream(0)
+	defer closeStream()
+
+	// Read frames until run_end, checking ordering and collecting the
+	// window_done stream; after the first window lands (eleven delayed
+	// windows remain, so the run is reliably mid-solve) snapshot /status
+	// and exercise a Last-Event-ID reconnect — both must happen while
+	// the run is in flight, because pmrank tears the server down on exit.
+	var (
+		lastSeq     uint64
+		doneWindows []int
+		runEnd      map[string]interface{}
+	)
+	for runEnd == nil {
+		f, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("reading /events after seq %d: %v", lastSeq, err)
+		}
+		if f.event != "" {
+			t.Fatalf("unexpected %q frame: %s", f.event, f.data)
+		}
+		if f.id <= lastSeq {
+			t.Fatalf("frame id %d not increasing (previous %d)", f.id, lastSeq)
+		}
+		lastSeq = f.id
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(f.data), &m); err != nil {
+			t.Fatalf("frame %d data is not JSON: %v\n%s", f.id, err, f.data)
+		}
+		switch m["type"] {
+		case "window_done":
+			doneWindows = append(doneWindows, int(m["window"].(float64)))
+			if len(doneWindows) == 1 {
+				resp, err := http.Get("http://" + addr + "/status")
+				if err != nil {
+					t.Fatalf("GET /status: %v", err)
+				}
+				var st obs.Status
+				err = json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatalf("decode /status: %v", err)
+				}
+				if st.Phase != "solve" {
+					t.Fatalf("mid-run /status phase = %q, want solve (%+v)", st.Phase, st)
+				}
+				if st.WindowsTotal != windows || st.WindowsDone < 1 || st.WindowsDone >= windows {
+					t.Fatalf("mid-run /status windows = %d/%d", st.WindowsDone, st.WindowsTotal)
+				}
+				if st.LastSeq == 0 {
+					t.Fatal("mid-run /status has no journal position")
+				}
+				if h, ok := st.Histograms["window_wall_seconds"]; !ok || h.Count < 1 {
+					t.Fatalf("mid-run /status histograms = %+v", st.Histograms)
+				}
+
+				// A reconnect with Last-Event-ID resumes exactly after
+				// the given seq — lossless, no lagged frame (the ring
+				// still holds everything, so the next frame follows
+				// immediately or as soon as the next event fires).
+				r2, closeStream2 := stream(f.id)
+				f2, err := readFrame(r2)
+				closeStream2()
+				if err != nil {
+					t.Fatalf("resumed stream: %v", err)
+				}
+				if f2.event != "" || f2.id != f.id+1 {
+					t.Fatalf("resumed stream first frame id=%d event=%q, want id=%d", f2.id, f2.event, f.id+1)
+				}
+			}
+		case "run_end":
+			runEnd = m
+		}
+	}
+	if len(doneWindows) != windows {
+		t.Fatalf("saw %d window_done frames, want %d (%v)", len(doneWindows), windows, doneWindows)
+	}
+	seen := map[int]bool{}
+	for _, w := range doneWindows {
+		if w < 0 || w >= windows || seen[w] {
+			t.Fatalf("bad window_done sequence %v", doneWindows)
+		}
+		seen[w] = true
+	}
+	if runEnd["status"] != "completed" || int(runEnd["done"].(float64)) != windows {
+		t.Fatalf("run_end = %v", runEnd)
+	}
+
+	closeStream()
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("pmrank: %v", err)
+	}
+	out := <-outDone
+	if !strings.Contains(out, "event journal written to") {
+		t.Fatalf("pmrank output missing journal confirmation:\n%s", out)
+	}
+
+	// The journal file passes schema validation.
+	vout := runTool(t, "./cmd/pmtop", "-validate", journal)
+	if !strings.Contains(vout, "events ok") || !strings.Contains(vout, "window_done=12") {
+		t.Fatalf("pmtop -validate output:\n%s", vout)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"pmpr/internal/bench"
 	"pmpr/internal/core"
@@ -75,13 +76,23 @@ func main() {
 	// Any observability output wants the scheduler counters in reports.
 	o.PoolMetrics = *jsonOut != "" || *metricsAddr != "" || *traceOut != "" || *reportOut != ""
 
+	shutdownObs := func() {}
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, obs.NewRegistry())
 		if err != nil {
 			fatal(err)
 		}
-		//pmvet:ignore closecheck -- metrics server lives until process exit; shutdown error is uninteresting
-		defer srv.Close()
+		// Graceful teardown with a short deadline so an in-flight scrape
+		// finishes but SIGINT still exits promptly; runs via the defer on
+		// the normal path and explicitly before the interrupt's os.Exit.
+		shutdownObs = func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintf(os.Stderr, "pmbench: metrics server shutdown: %v\n", err)
+			}
+		}
+		defer shutdownObs()
 		fmt.Printf("serving metrics on http://%s/ (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
 	}
 
@@ -168,6 +179,7 @@ func main() {
 	if err != nil {
 		if errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "pmbench: interrupted; partial results flushed")
+			shutdownObs()
 			os.Exit(130)
 		}
 		fatal(err)

@@ -10,9 +10,17 @@
 //	       [-partitioner auto|simple|static] [-no-partial] [-directed] \
 //	       [-top 5] [-every 10] [-workers 0] [-out ranks.pmrs]
 //	       [-model postmortem|offline|streaming|components|kcore]
-//	       [-metrics-addr :8080] [-trace-out run.trace.json]
+//	       [-metrics-addr :8080] [-live] [-journal-out run.jsonl]
+//	       [-trace-out run.trace.json]
 //	       [-report-out report.json] [-discard-ranks]
 //	       [-checkpoint-dir ckpt/] [-resume]
+//
+// With -metrics-addr and -live the run is observable while it executes:
+// GET /status returns a JSON progress snapshot (phase, windows
+// done/total, histogram summaries) and GET /events streams the run
+// journal as Server-Sent Events, resumable via Last-Event-ID. cmd/pmtop
+// is a terminal watcher for these endpoints. -journal-out writes the
+// same event stream as JSON lines.
 //
 // With -checkpoint-dir every solved window is flushed to disk as it
 // completes; an interrupted run can then be re-invoked with -resume to
@@ -28,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -69,6 +78,8 @@ func main() {
 		resume  = flag.Bool("resume", false, "restore windows already present in -checkpoint-dir instead of re-solving them")
 
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		live         = flag.Bool("live", false, "also serve /status (JSON snapshot) and /events (SSE journal) on -metrics-addr")
+		journalOut   = flag.String("journal-out", "", "write the run's event journal as JSON lines to this file (postmortem model only)")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event JSON of the schedule (postmortem model only)")
 		reportOut    = flag.String("report-out", "", "write the run report JSON (postmortem model only)")
 		discardRanks = flag.Bool("discard-ranks", false, "drop rank vectors after convergence (timing-only runs)")
@@ -83,11 +94,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pmrank: -in is required")
 		os.Exit(2)
 	}
-	if *model != "postmortem" && (*traceOut != "" || *reportOut != "" || *discardRanks || *ckptDir != "") {
-		fmt.Fprintln(os.Stderr, "pmrank: -trace-out/-report-out/-discard-ranks/-checkpoint-dir apply to the postmortem model only; ignoring")
+	if *model != "postmortem" && (*traceOut != "" || *reportOut != "" || *discardRanks || *ckptDir != "" || *journalOut != "" || *live) {
+		fmt.Fprintln(os.Stderr, "pmrank: -trace-out/-report-out/-discard-ranks/-checkpoint-dir/-journal-out/-live apply to the postmortem model only; ignoring")
 	}
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "pmrank: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+	if *live && *metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "pmrank: -live requires -metrics-addr")
 		os.Exit(2)
 	}
 
@@ -116,7 +131,65 @@ func main() {
 	if observing {
 		pool.EnableMetrics(true)
 	}
+	// The journal exists whenever someone consumes it: an -out file, the
+	// /events stream, or both (they share the same event sequence).
+	var journal *obs.Journal
+	var journalFile *os.File
+	if *live || *journalOut != "" {
+		journal = obs.NewJournal(0)
+	}
+	if *journalOut != "" {
+		f, err := os.Create(*journalOut)
+		if err != nil {
+			fatal(err)
+		}
+		journalFile = f
+		journal.SetSink(f)
+	}
+	closeJournal := func() {
+		if journal == nil {
+			return
+		}
+		if err := journal.CloseSink(); err != nil {
+			fmt.Fprintf(os.Stderr, "pmrank: journal sink: %v\n", err)
+		}
+		if journalFile != nil {
+			if err := journalFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "pmrank: %s: %v\n", *journalOut, err)
+			}
+			journalFile = nil
+		}
+	}
+	defer closeJournal()
+
+	// liveEng is set once the postmortem engine exists; /status may be
+	// polled before that and reports "idle" until then.
+	var liveEng atomic.Pointer[core.Engine]
+	statusFn := func() obs.Status {
+		st := obs.Status{Phase: "idle", LastSeq: journal.LastSeq()}
+		eng := liveEng.Load()
+		if eng == nil {
+			return st
+		}
+		p := eng.Progress()
+		st.Phase = p.Phase
+		st.WindowsTotal = p.WindowsTotal
+		st.WindowsDone = p.WindowsDone
+		st.WindowsQuarantined = int(p.Quarantined)
+		st.Retried = p.Retried
+		st.Degraded = p.Degraded
+		st.Resumed = p.Resumed
+		h := eng.Histograms()
+		st.Histograms = map[string]obs.HistogramSummary{
+			"window_wall_seconds": h.WindowWall.Summary(),
+			"window_iterations":   h.Iterations.Summary(),
+			"window_residual":     h.Residual.Summary(),
+		}
+		return st
+	}
+
 	var reg *obs.Registry
+	shutdownObs := func() {}
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
 		reg.Gauge("pmpr_events_total", "events in the loaded log", func() float64 { return float64(l.Len()) })
@@ -124,13 +197,30 @@ func main() {
 		reg.Gauge("pmpr_sched_tasks_total", "fork-join leaf tasks executed", func() float64 { return float64(pool.Stats().TotalTasks()) })
 		reg.Gauge("pmpr_sched_steals_total", "tasks obtained by stealing", func() float64 { return float64(pool.Stats().TotalSteals()) })
 		reg.Gauge("pmpr_sched_splits_total", "range splits performed", func() float64 { return float64(pool.Stats().TotalSplits()) })
-		srv, err := obs.Serve(*metricsAddr, reg)
+		mux := obs.NewMux(reg)
+		if *live {
+			obs.HandleLive(mux, journal, statusFn)
+		}
+		srv, err := obs.ServeHandler(*metricsAddr, mux)
 		if err != nil {
 			fatal(err)
 		}
-		//pmvet:ignore closecheck -- metrics server lives until process exit; shutdown error is uninteresting
-		defer srv.Close()
+		// Graceful teardown with a short deadline: an in-flight scrape or
+		// /events stream gets a moment to finish, but SIGINT still exits
+		// promptly. Runs on the normal return path via the defer and
+		// explicitly before the interrupted path's os.Exit.
+		shutdownObs = func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintf(os.Stderr, "pmrank: metrics server shutdown: %v\n", err)
+			}
+		}
+		defer shutdownObs()
 		fmt.Printf("serving metrics on http://%s/ (/metrics, /debug/vars, /debug/pprof/)\n", srv.Addr())
+		if *live {
+			fmt.Printf("live progress on http://%s/status and http://%s/events\n", srv.Addr(), srv.Addr())
+		}
 	}
 	step := *every
 	if step == 0 {
@@ -160,12 +250,15 @@ func main() {
 		cfg.PartialInit = !*noPartial
 		cfg.Directed = *directed
 		cfg.DiscardRanks = *discardRanks
+		cfg.Journal = journal
 		eng, err := core.NewEngine(l, spec, cfg, pool)
 		if err != nil {
 			fatal(err)
 		}
+		liveEng.Store(eng)
 		if reg != nil {
 			eng.FaultCounters().RegisterOn(reg, "pmpr_engine_fault")
+			eng.Histograms().RegisterOn(reg, "pmpr_window")
 		}
 		if *ckptDir != "" {
 			store, err := checkpoint.Open(*ckptDir)
@@ -197,6 +290,10 @@ func main() {
 					fmt.Printf("pmrank: completed windows checkpointed in %s; re-run with -resume to continue\n",
 						canceled.Checkpoint)
 				}
+				// os.Exit skips the defers; flush the journal and drain the
+				// obs server explicitly so the interrupt leaves clean state.
+				closeJournal()
+				shutdownObs()
 				os.Exit(130)
 			}
 			fatal(err)
@@ -231,6 +328,9 @@ func main() {
 				}
 				fmt.Printf("run report written to %s\n", *reportOut)
 			}
+		}
+		if *journalOut != "" {
+			fmt.Printf("event journal written to %s (%d events)\n", *journalOut, journal.LastSeq())
 		}
 		if tr != nil {
 			if err := tr.WriteFile(*traceOut); err != nil {

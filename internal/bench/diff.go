@@ -72,6 +72,15 @@ func diffTimes(r *JSONReport) map[string]float64 {
 		if prev, ok := out[key]; !ok || er.WallSeconds < prev {
 			out[key] = er.WallSeconds
 		}
+		// Tail latency rides the same min-across-repeats rule under its
+		// own key; reports predating wall percentiles simply omit it (the
+		// key lands in OnlyBefore/OnlyAfter and never fails the gate).
+		if er.WallP95 > 0 {
+			pkey := fmt.Sprintf("p95:%s/%s/w%d/%d", er.Kernel, er.Mode, er.Workers, er.Windows)
+			if prev, ok := out[pkey]; !ok || er.WallP95 < prev {
+				out[pkey] = er.WallP95
+			}
+		}
 	}
 	return out
 }

@@ -37,6 +37,11 @@ type EngineRunSummary struct {
 	WarmStartRate   float64 `json:"warm_start_rate"`
 	LoadImbalance   float64 `json:"load_imbalance,omitempty"`
 	ScratchHitRate  float64 `json:"scratch_hit_rate,omitempty"`
+	// WallP50/P95/P99 are the per-window wall-time percentiles from the
+	// run's histogram, so -diff tracks tail latency alongside totals.
+	WallP50 float64 `json:"wall_p50,omitempty"`
+	WallP95 float64 `json:"wall_p95,omitempty"`
+	WallP99 float64 `json:"wall_p99,omitempty"`
 }
 
 // JSONReport is the machine-readable counterpart of the rendered
@@ -90,6 +95,9 @@ func (j *JSONReport) Sink() func(*core.RunReport) {
 			WarmStartRate:   r.WarmStart.HitRate,
 			LoadImbalance:   loadImbalance(r),
 			ScratchHitRate:  scratchHitRate(r),
+			WallP50:         r.WindowWallPercentiles.P50,
+			WallP95:         r.WindowWallPercentiles.P95,
+			WallP99:         r.WindowWallPercentiles.P99,
 		})
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"pmpr/internal/obs"
 	"pmpr/internal/pagerank"
 	"pmpr/internal/sched"
 )
@@ -178,6 +179,15 @@ type Config struct {
 	// + windows*vertices) work, so it is meant for tests, fuzzing, and
 	// debugging rather than benchmark runs.
 	Validate bool
+	// Journal receives the run's structured event stream: run and stage
+	// lifecycle, per-window start/done with status and residuals,
+	// fault-ladder transitions (retry, degrade, quarantine), and
+	// checkpoint IO. nil (the default) disables emission entirely —
+	// every emit site is a single nil check. Events fire only at
+	// window, batch, and stage boundaries, never inside kernel
+	// iteration loops, so the steady-state allocation guarantees hold
+	// with a journal attached.
+	Journal *obs.Journal
 }
 
 // DefaultConfig returns the paper's suggested parameters (Sec. 6.3.6):

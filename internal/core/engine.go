@@ -33,7 +33,80 @@ type Engine struct {
 	// arena and trace writer are single-run state.
 	running  atomic.Bool
 	counters obs.RunCounters
+	// phase is the coarse lifecycle (runPhase) the /status surface reads.
+	phase atomic.Int32
 }
+
+// runPhase is the engine's coarse lifecycle for live status.
+type runPhase int32
+
+const (
+	phaseIdle runPhase = iota
+	phaseSolve
+	phasePublish
+	phaseDone
+	phaseCanceled
+	phaseFailed
+)
+
+func (p runPhase) String() string {
+	switch p {
+	case phaseIdle:
+		return "idle"
+	case phaseSolve:
+		return "solve"
+	case phasePublish:
+		return "publish"
+	case phaseDone:
+		return "done"
+	case phaseCanceled:
+		return "canceled"
+	case phaseFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("runPhase(%d)", int32(p))
+	}
+}
+
+// Progress is a live snapshot of an engine's current (or most recent)
+// run: the coarse phase plus the window and fault counts a watcher
+// needs. It is what pmrank's /status endpoint serves (see obs.Status).
+type Progress struct {
+	// Phase is "idle", "solve", "publish", "done", "canceled", or
+	// "failed".
+	Phase string
+	// WindowsTotal is the plan's window count.
+	WindowsTotal int
+	// WindowsDone counts decided windows (solved, restored, or failed)
+	// of the current or most recent run.
+	WindowsDone int
+	// Quarantined, Retried, Degraded, and Resumed mirror the fault
+	// counters (cumulative across the engine's runs).
+	Quarantined int64
+	Retried     int64
+	Degraded    int64
+	Resumed     int64
+}
+
+// Progress snapshots the engine's live run state. Safe to call
+// concurrently with Run; between runs it reports the last run's state.
+func (e *Engine) Progress() Progress {
+	fc := e.solve.FaultCounters()
+	return Progress{
+		Phase:        runPhase(e.phase.Load()).String(),
+		WindowsTotal: e.plan.Windows,
+		WindowsDone:  e.solve.Completed(),
+		Quarantined:  fc.Quarantined.Value(),
+		Retried:      fc.Retries.Value(),
+		Degraded:     fc.Degraded.Value(),
+		Resumed:      fc.CheckpointResumed.Value(),
+	}
+}
+
+// Histograms exposes the solve stage's per-window distributions (wall
+// time, iterations, residual) for metrics registration (see
+// obs.SolveHistograms.RegisterOn).
+func (e *Engine) Histograms() *obs.SolveHistograms { return e.solve.Histograms() }
 
 // newArena sizes the scratch arena for pool (nil = serial engine).
 func newArena(pool *sched.Pool) *scratchArena {
@@ -244,13 +317,28 @@ func (e *Engine) Run(ctx context.Context) (*Series, error) {
 	}
 	defer e.running.Store(false)
 	e.counters.Started.Inc()
+	j := e.plan.Cfg.Journal
+	start := time.Now()
+	j.EmitRunStart(e.plan.Windows, e.plan.Cfg.Kernel.String(), e.plan.Cfg.Mode.String(), e.plan.Workers)
+	e.phase.Store(int32(phaseSolve))
 	out, err := e.solve.Run(ctx, e.plan)
 	if err != nil {
 		if errors.Is(err, ErrCanceled) {
 			e.counters.Canceled.Inc()
+			e.phase.Store(int32(phaseCanceled))
+			done := 0
+			var ce *CanceledError
+			if errors.As(err, &ce) {
+				done = ce.Completed
+			}
+			j.EmitRunEnd("canceled", done, e.plan.Windows, time.Since(start).Seconds(), errString(err))
+		} else {
+			e.phase.Store(int32(phaseFailed))
+			j.EmitRunEnd("failed", e.solve.Completed(), e.plan.Windows, time.Since(start).Seconds(), errString(err))
 		}
 		return nil, err
 	}
+	e.phase.Store(int32(phasePublish))
 	pubStart := time.Now()
 	series, err := (PublishStage{}).Run(PublishInput{
 		Plan:         e.plan,
@@ -258,9 +346,13 @@ func (e *Engine) Run(ctx context.Context) (*Series, error) {
 		BuildSeconds: e.build.Seconds,
 	})
 	if err != nil {
+		e.phase.Store(int32(phaseFailed))
+		j.EmitRunEnd("failed", e.solve.Completed(), e.plan.Windows, time.Since(start).Seconds(), errString(err))
 		return nil, err
 	}
 	series.Report.SetPhase("publish", time.Since(pubStart).Seconds())
 	e.counters.Completed.Inc()
+	e.phase.Store(int32(phaseDone))
+	j.EmitRunEnd("completed", e.plan.Windows, e.plan.Windows, time.Since(start).Seconds(), "")
 	return series, nil
 }

@@ -105,6 +105,11 @@ func (r *solveRun) solveBatchFT(b *Batch, reset func(), point string) bool {
 	for try := 0; try <= pol.MaxRetries; try++ {
 		if try > 0 {
 			r.fault.Retries.Inc()
+			if r.journal != nil {
+				for s := range b.results {
+					r.journal.EmitRetry(b.results[s].Window, b.results[s].Worker, try, errString(err))
+				}
+			}
 			if d := pol.backoffFor(try); d > 0 {
 				time.Sleep(d)
 			}
@@ -185,6 +190,7 @@ func (r *solveRun) degradeBatch(b *Batch, priorAttempts int, panicked bool) {
 		res.Status = WindowDegraded
 		res.Attempts = attempts
 		r.fault.Degraded.Inc()
+		r.journal.EmitDegrade(res.Window, res.Worker)
 	}
 }
 
@@ -198,6 +204,7 @@ func (r *solveRun) quarantine(res *WindowResult, attempts int, cause error, pani
 	res.Converged = false
 	res.ranks = nil
 	r.fault.Quarantined.Inc()
+	r.journal.EmitQuarantine(res.Window, res.Worker, attempts, errString(cause))
 	if r.plan.Cfg.Fault.FailFast {
 		r.abort.CompareAndSwap(nil, we)
 	}
@@ -258,6 +265,7 @@ func (r *solveRun) checkpointWindow(res *WindowResult) {
 		return
 	}
 	r.fault.CheckpointWindows.Inc()
+	r.journal.EmitCheckpointWrite(res.Window)
 }
 
 // restoreBatch restores SpMM batch j of unit u when every one of its
@@ -289,6 +297,7 @@ func (r *solveRun) restoreBatch(u *SolveUnit, j, wid int, ranksByOffset [][]floa
 		restoreResult(&r.results[w], cw, mw, wid)
 		ranksByOffset[off] = cw.Ranks
 		r.fault.CheckpointResumed.Inc()
+		r.journal.EmitCheckpointResume(w)
 		r.completed.Add(1)
 	}
 	return true

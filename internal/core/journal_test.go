@@ -1,0 +1,333 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pmpr/internal/events"
+	"pmpr/internal/fault"
+	"pmpr/internal/obs"
+)
+
+// journalCfg attaches a fresh journal to an equivalence config.
+func journalCfg(kernel KernelID, mode ParallelMode) (Config, *obs.Journal) {
+	cfg := equivCfg(kernel, mode, true)
+	j := obs.NewJournal(4096)
+	cfg.Journal = j
+	return cfg, j
+}
+
+// eventsByType indexes a journal drain per event type, preserving order.
+func eventsByType(evs []obs.Event) map[obs.EventType][]obs.Event {
+	out := map[obs.EventType][]obs.Event{}
+	for _, e := range evs {
+		out[e.Type] = append(out[e.Type], e)
+	}
+	return out
+}
+
+// TestRunEmitsOrderedJournal runs a full engine with a journal attached
+// and checks the event stream's shape: contiguous sequence numbers, the
+// documented lifecycle order (stages, run_start before windows, run_end
+// last), and one window_start/window_done pair per window.
+func TestRunEmitsOrderedJournal(t *testing.T) {
+	fault.Reset()
+	l := randomLog(t, 101, 25, 250, 700)
+	spec := events.WindowSpec{T0: 0, Delta: 160, Slide: 90, Count: 6}
+	for _, kernel := range []KernelID{SpMV, SpMM} {
+		t.Run(kernel.String(), func(t *testing.T) {
+			cfg, j := journalCfg(kernel, AppLevel)
+			eng, err := NewEngine(l, spec, cfg, nil)
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			if _, err := eng.Run(context.Background()); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			evs, complete := j.Since(0)
+			if !complete {
+				t.Fatal("journal evicted events; ring sized too small for the run")
+			}
+			for i, e := range evs {
+				if e.Seq != uint64(i+1) {
+					t.Fatalf("event %d has seq %d; want contiguous from 1", i, e.Seq)
+				}
+				if e.TimeUnixNano == 0 {
+					t.Fatalf("event %d has no timestamp", i)
+				}
+			}
+			byType := eventsByType(evs)
+
+			// NewEngine ran build and plan; Run ran solve and publish.
+			stages := map[string]bool{}
+			for _, e := range byType[obs.EvStageEnd] {
+				if e.Err != "" {
+					t.Fatalf("stage %s ended with error %q", e.Stage, e.Err)
+				}
+				stages[e.Stage] = true
+			}
+			for _, want := range []string{"build", "plan", "solve", "publish"} {
+				if !stages[want] {
+					t.Fatalf("no stage_end for %q (have %v)", want, stages)
+				}
+			}
+			if len(byType[obs.EvStageStart]) != len(byType[obs.EvStageEnd]) {
+				t.Fatalf("%d stage_start vs %d stage_end events",
+					len(byType[obs.EvStageStart]), len(byType[obs.EvStageEnd]))
+			}
+
+			windows := spec.Count
+			if got := len(byType[obs.EvWindowStart]); got != windows {
+				t.Fatalf("window_start count = %d, want %d", got, windows)
+			}
+			if got := len(byType[obs.EvWindowDone]); got != windows {
+				t.Fatalf("window_done count = %d, want %d", got, windows)
+			}
+			seen := map[int]bool{}
+			for _, e := range byType[obs.EvWindowDone] {
+				if seen[e.Window] {
+					t.Fatalf("window %d decided twice", e.Window)
+				}
+				seen[e.Window] = true
+				if e.Status != WindowOK.String() {
+					t.Fatalf("window %d status %q, want %q", e.Window, e.Status, WindowOK)
+				}
+				// Empty windows legitimately decide in 0 iterations.
+				if e.Iterations < 0 || e.Seconds < 0 {
+					t.Fatalf("window %d: iterations=%d seconds=%g", e.Window, e.Iterations, e.Seconds)
+				}
+			}
+
+			starts := byType[obs.EvRunStart]
+			if len(starts) != 1 {
+				t.Fatalf("run_start count = %d", len(starts))
+			}
+			rs := starts[0]
+			if rs.Windows != windows || rs.Kernel != kernel.String() {
+				t.Fatalf("run_start = %+v", rs)
+			}
+			ends := byType[obs.EvRunEnd]
+			if len(ends) != 1 {
+				t.Fatalf("run_end count = %d", len(ends))
+			}
+			re := ends[0]
+			if re.Status != "completed" || re.Done != windows || re.Windows != windows {
+				t.Fatalf("run_end = %+v", re)
+			}
+			if evs[len(evs)-1].Type != obs.EvRunEnd {
+				t.Fatalf("last event is %s, want run_end", evs[len(evs)-1].Type)
+			}
+			// Every window event happens between run_start and run_end.
+			for _, e := range append(byType[obs.EvWindowStart], byType[obs.EvWindowDone]...) {
+				if e.Seq < rs.Seq || e.Seq > re.Seq {
+					t.Fatalf("window event seq %d outside run bounds [%d,%d]", e.Seq, rs.Seq, re.Seq)
+				}
+			}
+		})
+	}
+}
+
+// TestJournalRecordsRetries verifies a transient injected fault leaves
+// a retry event carrying the failing window and the attempt number.
+func TestJournalRecordsRetries(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	l := randomLog(t, 102, 20, 200, 600)
+	spec := events.WindowSpec{T0: 0, Delta: 160, Slide: 90, Count: 5}
+	cfg, j := journalCfg(SpMV, AppLevel)
+	cfg.Fault = FaultPolicy{MaxRetries: 2}
+	eng, err := NewEngine(l, spec, cfg, nil)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	cancel := fault.Arm(fault.Rule{Point: PointSolveWindow, Mode: fault.ModeError, After: 2, Count: 1})
+	defer cancel()
+	s, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !s.AllOK() {
+		t.Fatalf("transient fault quarantined windows %v", s.Quarantined())
+	}
+	evs, _ := j.Since(0)
+	byType := eventsByType(evs)
+	retries := byType[obs.EvRetry]
+	if len(retries) == 0 {
+		t.Fatal("no retry event recorded")
+	}
+	if r := retries[0]; r.Attempt < 1 || r.Err == "" || r.Window < 0 {
+		t.Fatalf("retry event = %+v", r)
+	}
+	// The retried window still decides exactly once.
+	if got := len(byType[obs.EvWindowDone]); got != spec.Count {
+		t.Fatalf("window_done count = %d, want %d", got, spec.Count)
+	}
+}
+
+// TestJournalRecordsDegrade verifies a persistent primary-kernel fault
+// with a healthy serial fallback leaves one degrade event per degraded
+// window.
+func TestJournalRecordsDegrade(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	l := randomLog(t, 106, 20, 200, 600)
+	spec := events.WindowSpec{T0: 0, Delta: 160, Slide: 90, Count: 5}
+	cfg, j := journalCfg(SpMV, AppLevel)
+	cfg.Fault = FaultPolicy{MaxRetries: 1}
+	eng, err := NewEngine(l, spec, cfg, nil)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	cancel := fault.Arm(fault.Rule{Point: PointSolveWindow, Mode: fault.ModeError, Count: 0})
+	defer cancel()
+	s, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	degraded := 0
+	for w := 0; w < s.Len(); w++ {
+		if s.Window(w).Status == WindowDegraded {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no window degraded; injection exercised nothing")
+	}
+	evs, _ := j.Since(0)
+	byType := eventsByType(evs)
+	if got := len(byType[obs.EvDegrade]); got != degraded {
+		t.Fatalf("%d degrade events for %d degraded windows", got, degraded)
+	}
+	if len(byType[obs.EvRetry]) == 0 {
+		t.Fatal("no retry events before degrading")
+	}
+}
+
+// TestJournalRecordsQuarantine verifies a persistent fault (primary and
+// degraded paths both failing) produces quarantine events — degrade
+// events are absent because the fallback never succeeds — and the
+// run_end still reports completion.
+func TestJournalRecordsQuarantine(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	l := randomLog(t, 103, 20, 200, 600)
+	spec := events.WindowSpec{T0: 0, Delta: 160, Slide: 90, Count: 5}
+	cfg, j := journalCfg(SpMV, AppLevel)
+	cfg.Fault = FaultPolicy{MaxRetries: 1}
+	eng, err := NewEngine(l, spec, cfg, nil)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	c1 := fault.Arm(fault.Rule{Point: PointSolveWindow, Mode: fault.ModeError, Count: 0})
+	defer c1()
+	c2 := fault.Arm(fault.Rule{Point: PointSolveDegrade, Mode: fault.ModeError, Count: 0})
+	defer c2()
+	s, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(s.Quarantined()) == 0 {
+		t.Fatal("no windows quarantined; injection exercised nothing")
+	}
+	evs, _ := j.Since(0)
+	byType := eventsByType(evs)
+	q := byType[obs.EvQuarantine]
+	if len(q) != len(s.Quarantined()) {
+		t.Fatalf("%d quarantine events for %d quarantined windows", len(q), len(s.Quarantined()))
+	}
+	if q[0].Err == "" || q[0].Attempt < 1 {
+		t.Fatalf("quarantine event = %+v", q[0])
+	}
+	if ends := byType[obs.EvRunEnd]; len(ends) != 1 || ends[0].Status != "completed" {
+		t.Fatalf("run_end = %+v", ends)
+	}
+}
+
+// TestJournalRecordsCancel cancels mid-run — the journal's own event
+// stream is the trigger: the context is canceled when the first
+// window_done arrives, while a delay fault keeps the remaining windows
+// pending — and verifies a cancel event plus a run_end with status
+// "canceled" land in the journal.
+func TestJournalRecordsCancel(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	l := randomLog(t, 104, 20, 200, 600)
+	spec := events.WindowSpec{T0: 0, Delta: 160, Slide: 90, Count: 5}
+	cfg, j := journalCfg(SpMV, AppLevel)
+	eng, err := NewEngine(l, spec, cfg, nil)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	slow := fault.Arm(fault.Rule{Point: PointSolveWindow, Mode: fault.ModeDelay, Delay: 20 * time.Millisecond, Count: 0})
+	defer slow()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sub := j.Subscribe(64)
+	defer sub.Close()
+	go func() {
+		for e := range sub.C() {
+			if e.Type == obs.EvWindowDone {
+				cancel()
+				return
+			}
+		}
+	}()
+	if _, err := eng.Run(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run: %v, want ErrCanceled", err)
+	}
+	evs, _ := j.Since(0)
+	byType := eventsByType(evs)
+	if len(byType[obs.EvCancel]) == 0 {
+		t.Fatal("no cancel event recorded")
+	}
+	ends := byType[obs.EvRunEnd]
+	if len(ends) != 1 || ends[0].Status != "canceled" {
+		t.Fatalf("run_end = %+v, want status canceled", ends)
+	}
+	if done := len(byType[obs.EvWindowDone]); done == 0 || done >= spec.Count {
+		t.Fatalf("window_done count = %d, want partial progress (0 < n < %d)", done, spec.Count)
+	}
+}
+
+// TestJournalAttachedSteadyStateDoesNotAllocate is the journal's
+// counterpart of TestSteadyStateIterationsDoNotAllocate: with a journal
+// attached, 100 extra steady-state iterations must still allocate
+// nothing (events fire at window boundaries only, and Append itself is
+// allocation-free: a ring-slot copy plus non-blocking sends).
+func TestJournalAttachedSteadyStateDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	fault.Reset()
+	l := randomLog(t, 105, 25, 250, 700)
+	spec := events.WindowSpec{T0: 0, Delta: 160, Slide: 90, Count: 6}
+	for _, kernel := range []KernelID{SpMV, SpMVBlocked, SpMM} {
+		measure := func(maxIter int) float64 {
+			cfg := equivCfg(kernel, AppLevel, true)
+			cfg.DiscardRanks = true
+			cfg.Opts.Tol = 1e-300 // never converge early; iterate MaxIter times
+			cfg.Opts.MaxIter = maxIter
+			cfg.Journal = obs.NewJournal(256)
+			eng, err := NewEngine(l, spec, cfg, nil)
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			if _, err := eng.Run(context.Background()); err != nil { // warm the arena
+				t.Fatalf("warm-up Run: %v", err)
+			}
+			return testing.AllocsPerRun(3, func() {
+				if _, err := eng.Run(context.Background()); err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+			})
+		}
+		short := measure(1)
+		long := measure(101)
+		if long != short {
+			t.Errorf("%v: with journal, 100 extra iterations allocated %.1f objects (run allocs %.1f -> %.1f)",
+				kernel, long-short, short, long)
+		}
+	}
+}

@@ -48,11 +48,32 @@ type BuildOutput struct {
 	Seconds float64
 }
 
+// errString renders an error for journal events ("" for nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// emitStage brackets a stage's execution on the journal: it emits
+// stage_start immediately and returns the deferred stage_end emitter,
+// which reads *err after any recoverStage conversion has run (register
+// it before recoverStage so it executes after).
+func emitStage(j *obs.Journal, stage string, err *error) func() {
+	j.EmitStageStart(stage)
+	start := time.Now()
+	return func() {
+		j.EmitStageEnd(stage, time.Since(start).Seconds(), errString(*err))
+	}
+}
+
 // Run builds (and when Cfg.Validate is set, validates) the temporal
 // representation. A panic inside the build (e.g. on a malformed log a
 // caller constructed by hand) is converted into a *StageError instead
 // of crashing the process.
 func (BuildStage) Run(in BuildInput) (out BuildOutput, err error) {
+	defer emitStage(in.Cfg.Journal, "build", &err)()
 	defer recoverStage("build", &err)
 	if err := fault.Inject(PointBuild); err != nil {
 		return BuildOutput{}, err
@@ -140,6 +161,7 @@ type SolvePlan struct {
 // nil, or Cfg.Kernel has no registered implementation; a panic during
 // layout becomes a *StageError.
 func (PlanStage) Run(in PlanInput) (plan *SolvePlan, err error) {
+	defer emitStage(in.Cfg.Journal, "plan", &err)()
 	defer recoverStage("plan", &err)
 	if err := fault.Inject(PointPlan); err != nil {
 		return nil, err
@@ -227,6 +249,7 @@ type PublishInput struct {
 // Run assembles the Series with its observability rollup. A panic
 // during aggregation becomes a *StageError.
 func (PublishStage) Run(in PublishInput) (series *Series, err error) {
+	defer emitStage(in.Plan.Cfg.Journal, "publish", &err)()
 	defer recoverStage("publish", &err)
 	if err := fault.Inject(PointPublish); err != nil {
 		return nil, err
@@ -307,6 +330,12 @@ func (PublishStage) Run(in PublishInput) (series *Series, err error) {
 	}
 	rep.Sched = in.Solve.Sched
 	rep.Scratch = in.Solve.Scratch
+	ww := in.Solve.WindowWall
+	rep.WindowWallPercentiles = Percentiles{
+		P50: ww.Quantile(0.50),
+		P95: ww.Quantile(0.95),
+		P99: ww.Quantile(0.99),
+	}
 	return &Series{
 		Spec:        plan.Temporal.Spec,
 		NumVertices: plan.Temporal.NumVertices(),

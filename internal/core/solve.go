@@ -22,13 +22,19 @@ type SolveStage struct {
 	arena *scratchArena
 	trace *obs.Trace // optional; nil = no trace events
 	fault obs.FaultCounters
+	hist  *obs.SolveHistograms
 	ckpt  *ckptRun // optional; nil = no checkpointing
+
+	// cur points at the in-flight (or most recent) run so live surfaces
+	// (/status via Engine.Progress) can read its progress atomics
+	// without touching Run's state machine.
+	cur atomic.Pointer[solveRun]
 }
 
 // NewSolveStage creates a solve stage for pool (nil = serial
 // execution).
 func NewSolveStage(pool *sched.Pool) *SolveStage {
-	return &SolveStage{pool: pool, arena: newArena(pool)}
+	return &SolveStage{pool: pool, arena: newArena(pool), hist: obs.NewSolveHistograms()}
 }
 
 // SetTrace attaches a Chrome trace writer; pass nil to detach. Do not
@@ -39,6 +45,21 @@ func (st *SolveStage) SetTrace(t *obs.Trace) { st.trace = t }
 // recovered, retries, degrades, quarantines, checkpoint traffic) for
 // metrics registration (see obs.FaultCounters.RegisterOn).
 func (st *SolveStage) FaultCounters() *obs.FaultCounters { return &st.fault }
+
+// Histograms exposes the stage's per-window distributions (wall time,
+// iterations, residual) for metrics registration (see
+// obs.SolveHistograms.RegisterOn). They are cumulative across runs; use
+// SolveOutput.WindowWall for a single run's delta.
+func (st *SolveStage) Histograms() *obs.SolveHistograms { return st.hist }
+
+// Completed reports how many windows the in-flight (or most recent)
+// Run has decided. Safe to call concurrently with Run.
+func (st *SolveStage) Completed() int {
+	if r := st.cur.Load(); r != nil {
+		return int(r.completed.Load())
+	}
+	return 0
+}
 
 // setCheckpoint attaches per-run checkpoint state (Engine.SetCheckpoint
 // builds it). Do not call concurrently with Run.
@@ -61,6 +82,9 @@ type SolveOutput struct {
 	Sched *SchedReport
 	// Scratch is the arena counter delta for this run.
 	Scratch *ScratchReport
+	// WindowWall is this run's window wall-time distribution (the
+	// stage histogram's delta), the source of the report's percentiles.
+	WindowWall obs.HistogramSnapshot
 }
 
 // Run executes the plan. On cancellation it returns a *CanceledError
@@ -72,17 +96,21 @@ type SolveOutput struct {
 // quarantine in the results, so the only error paths out of a started
 // run are cancellation, fail-fast (a *WindowError when
 // Cfg.Fault.FailFast is set), and validation.
-func (st *SolveStage) Run(ctx context.Context, plan *SolvePlan) (SolveOutput, error) {
+func (st *SolveStage) Run(ctx context.Context, plan *SolvePlan) (out SolveOutput, err error) {
+	defer emitStage(plan.Cfg.Journal, "solve", &err)()
 	r := &solveRun{
 		plan:     plan,
 		arena:    st.arena,
 		trace:    st.trace,
 		kern:     plan.Kernel,
 		fault:    &st.fault,
+		hist:     st.hist,
+		journal:  plan.Cfg.Journal,
 		ckpt:     st.ckpt,
 		results:  make([]WindowResult, plan.Windows),
 		mwSweeps: make([]int64, len(plan.Temporal.MWs)),
 	}
+	st.cur.Store(r)
 	if dk, ok := LookupKernel(SpMV.String()); ok {
 		r.degrade = dk
 	}
@@ -105,6 +133,7 @@ func (st *SolveStage) Run(ctx context.Context, plan *SolvePlan) (SolveOutput, er
 		before = st.pool.Stats()
 	}
 	scratchBefore := st.arena.stats()
+	wallBefore := st.hist.WindowWall.Snapshot()
 	start := time.Now()
 	r.dispatch(ctx, st.pool)
 	dur := time.Since(start)
@@ -126,6 +155,7 @@ func (st *SolveStage) Run(ctx context.Context, plan *SolvePlan) (SolveOutput, er
 			// count moved, so the caller can report a resumable path.
 			ce.Checkpoint = st.ckpt.store.Dir()
 		}
+		r.journal.EmitCancel(ce.Completed, ce.Total)
 		return SolveOutput{}, ce
 	}
 	if we := r.abort.Load(); we != nil {
@@ -136,7 +166,12 @@ func (st *SolveStage) Run(ctx context.Context, plan *SolvePlan) (SolveOutput, er
 			return SolveOutput{}, err
 		}
 	}
-	out := SolveOutput{Results: r.results, MWSweeps: r.mwSweeps, Seconds: dur.Seconds()}
+	out = SolveOutput{
+		Results:    r.results,
+		MWSweeps:   r.mwSweeps,
+		Seconds:    dur.Seconds(),
+		WindowWall: st.hist.WindowWall.Snapshot().Delta(wallBefore),
+	}
 	if metrics {
 		d := st.pool.Stats().Delta(before)
 		out.Sched = &SchedReport{
@@ -165,9 +200,11 @@ type solveRun struct {
 	trace    *obs.Trace
 	val      *runValidator // nil unless Cfg.Validate
 	kern     Kernel
-	degrade  Kernel             // serial fallback kernel (spmv); nil if unregistered
-	fault    *obs.FaultCounters // stage-owned fault/checkpoint counters
-	ckpt     *ckptRun           // nil = no checkpointing
+	degrade  Kernel               // serial fallback kernel (spmv); nil if unregistered
+	fault    *obs.FaultCounters   // stage-owned fault/checkpoint counters
+	hist     *obs.SolveHistograms // stage-owned per-window distributions
+	journal  *obs.Journal         // nil = no event emission
+	ckpt     *ckptRun             // nil = no checkpointing
 	results  []WindowResult
 	mwSweeps []int64
 
@@ -179,6 +216,26 @@ type solveRun struct {
 }
 
 func (r *solveRun) canceled() bool { return r.canceledFlag.Load() }
+
+// windowDecided records a decided window on the stage's histograms and
+// the journal. Wall time is always observed; iterations only for
+// windows a kernel actually ran (quarantined windows may have died
+// before the first sweep), residuals only at convergence. Runs once per
+// window at batch boundaries — never inside iteration loops — so the
+// kernels' steady-state allocation guarantees are untouched.
+func (r *solveRun) windowDecided(res *WindowResult) {
+	if r.hist != nil {
+		r.hist.WindowWall.Observe(res.WallSeconds)
+		if res.Status != WindowFailed {
+			r.hist.Iterations.Observe(float64(res.Iterations))
+		}
+		if res.Converged {
+			r.hist.Residual.Observe(res.FinalResidual)
+		}
+	}
+	r.journal.EmitWindowDone(res.Window, res.Worker, res.Status.String(),
+		res.Iterations, res.FinalResidual, res.WallSeconds)
+}
 
 // traceTID maps a window-loop worker id to a trace thread id (tid 0 is
 // the main/serial thread, workers start at 1).
@@ -274,6 +331,7 @@ func (r *solveRun) windowRange(lo, hi, wid int, loop forLoop) {
 			res := &r.results[w]
 			restoreResult(res, cw, mw, wid)
 			r.fault.CheckpointResumed.Inc()
+			r.journal.EmitCheckpointResume(w)
 			prev, prevMW = res.ranks, mw
 			r.completed.Add(1)
 			continue
@@ -286,6 +344,7 @@ func (r *solveRun) windowRange(lo, hi, wid int, loop forLoop) {
 		curW, curWid, curMW = w, wid, mw
 		b.results = r.results[w : w+1]
 		stage()
+		r.journal.EmitWindowStart(w, wid)
 		t0 := time.Now()
 		if !r.solveBatchFT(&b, stage, PointSolveWindow) {
 			break // canceled or fail-fast aborted mid-attempt
@@ -303,6 +362,7 @@ func (r *solveRun) windowRange(lo, hi, wid int, loop forLoop) {
 		if res.Status != WindowFailed {
 			r.validateWindow(res)
 		}
+		r.windowDecided(res)
 		if cfg.DiscardRanks && prev != nil {
 			// The predecessor vector has served its warm start; recycle.
 			sb.putF64(prev)
@@ -400,6 +460,11 @@ func (r *solveRun) solveUnit(ui, wid int, loop forLoop) {
 		}
 		curJ = j
 		stage()
+		if r.journal != nil {
+			for s := range b.results {
+				r.journal.EmitWindowStart(b.results[s].Window, wid)
+			}
+		}
 		t0 := time.Now()
 		if !r.solveBatchFT(&b, stage, PointSolveBatch) {
 			break // canceled or fail-fast aborted mid-attempt
@@ -418,6 +483,7 @@ func (r *solveRun) solveUnit(ui, wid int, loop forLoop) {
 			if res.Status != WindowFailed {
 				r.validateWindow(res)
 			}
+			r.windowDecided(res)
 			ranksByOffset[res.Window-mw.WinLo] = res.ranks
 			if cfg.DiscardRanks {
 				res.ranks = nil

@@ -1,0 +1,222 @@
+// This file defines the run journal's event vocabulary: the typed,
+// sequence-numbered records the solve pipeline appends as a run
+// progresses. Events are flat value structs (no maps, no pointers)
+// so appending one to the journal ring copies a fixed-size payload and
+// allocates nothing; JSON rendering happens only at export time (JSONL
+// sink, SSE stream), never at the emit site.
+
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+)
+
+// EventType names one kind of journal record. The string is the wire
+// value of the "type" field in the JSONL/SSE encoding.
+type EventType string
+
+// The journal's event vocabulary. Every record carries seq,
+// time_unix_nano, and type; the remaining fields depend on the type
+// (see Event.AppendJSON for the exact per-type field sets).
+const (
+	// EvRunStart opens a run: total windows, kernel, mode, pool size.
+	EvRunStart EventType = "run_start"
+	// EvRunEnd closes a run with its status (completed, canceled,
+	// failed), the windows decided, and the solve wall time.
+	EvRunEnd EventType = "run_end"
+	// EvStageStart marks a pipeline stage (build, plan, solve, publish)
+	// beginning.
+	EvStageStart EventType = "stage_start"
+	// EvStageEnd marks a pipeline stage finishing, with its wall time
+	// and, on failure, the error.
+	EvStageEnd EventType = "stage_end"
+	// EvWindowStart marks one window's solve attempt sequence beginning
+	// on a worker.
+	EvWindowStart EventType = "window_start"
+	// EvWindowDone marks one window decided: status (ok, retried,
+	// degraded, resumed, failed), iterations, final residual, wall time.
+	EvWindowDone EventType = "window_done"
+	// EvRetry marks a failed window/batch attempt being retried.
+	EvRetry EventType = "retry"
+	// EvDegrade marks a window falling back to the serial SpMV kernel.
+	EvDegrade EventType = "degrade"
+	// EvQuarantine marks a window failing terminally.
+	EvQuarantine EventType = "quarantine"
+	// EvCheckpointWrite marks a decided window flushed to the checkpoint
+	// store.
+	EvCheckpointWrite EventType = "checkpoint_write"
+	// EvCheckpointResume marks a window restored from a checkpoint
+	// instead of solved.
+	EvCheckpointResume EventType = "checkpoint_resume"
+	// EvCancel marks the run observing cancellation, with the progress
+	// at that point.
+	EvCancel EventType = "cancel"
+)
+
+// Event is one journal record. The struct is the union of every event
+// type's fields; which ones are meaningful — and which appear in the
+// JSON encoding — depends on Type. Window and Worker use -1 as "not
+// applicable" so window 0 and worker 0 stay representable.
+type Event struct {
+	// Seq is the journal-assigned monotonic sequence number (1-based);
+	// the journal stamps it at append time.
+	Seq uint64
+	// TimeUnixNano is the append wall-clock time; the journal stamps it.
+	TimeUnixNano int64
+	// Type discriminates the record.
+	Type EventType
+
+	// Stage is the pipeline stage name (stage_start, stage_end).
+	Stage string
+	// Window is the global window index of window-scoped events; -1
+	// otherwise.
+	Window int
+	// Worker is the pool worker attribution; -1 outside the pool.
+	Worker int
+	// Status is the window_done outcome (WindowStatus string) or the
+	// run_end outcome (completed, canceled, failed).
+	Status string
+	// Iterations is the window_done iteration count.
+	Iterations int
+	// Residual is the window_done final L1 residual.
+	Residual float64
+	// Seconds is the wall time (window_done, stage_end, run_end).
+	Seconds float64
+	// Attempt is the 1-based attempt count (retry, quarantine).
+	Attempt int
+	// Err is the failure message (retry, quarantine, stage_end on
+	// error, run_end on failure).
+	Err string
+	// Windows is the run's total window count (run_start, run_end,
+	// cancel).
+	Windows int
+	// Done is the decided-window count (run_end, cancel).
+	Done int
+	// Kernel is the run's kernel name (run_start).
+	Kernel string
+	// Mode is the run's parallel mode (run_start).
+	Mode string
+	// Workers is the run's pool size (run_start).
+	Workers int
+}
+
+// jsonSafe reports whether s needs no JSON escaping (printable ASCII
+// without quotes or backslashes) — true for every string the pipeline
+// emits except arbitrary error text.
+func jsonSafe(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// appendString appends `,"key":"value"` with proper JSON escaping.
+func appendString(b []byte, key, val string) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	if jsonSafe(val) {
+		b = append(b, '"')
+		b = append(b, val...)
+		b = append(b, '"')
+		return b
+	}
+	// Arbitrary text (error messages): let encoding/json escape it. The
+	// marshal of a plain string cannot fail.
+	enc, _ := json.Marshal(val)
+	return append(b, enc...)
+}
+
+// appendInt appends `,"key":n`.
+func appendInt(b []byte, key string, n int64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendInt(b, n, 10)
+}
+
+// appendFloat appends `,"key":x` in compact %g form.
+func appendFloat(b []byte, key string, x float64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendFloat(b, x, 'g', -1, 64)
+}
+
+// AppendJSON appends the event's single-line JSON object to b and
+// returns the extended slice. Only the fields meaningful for the
+// event's type are emitted, so every line of a journal export follows
+// the documented per-type schema (see DESIGN.md "Run journal & event
+// schema").
+func (e *Event) AppendJSON(b []byte) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = appendInt(b, "time_unix_nano", e.TimeUnixNano)
+	b = appendString(b, "type", string(e.Type))
+	switch e.Type {
+	case EvRunStart:
+		b = appendInt(b, "windows", int64(e.Windows))
+		b = appendString(b, "kernel", e.Kernel)
+		b = appendString(b, "mode", e.Mode)
+		b = appendInt(b, "workers", int64(e.Workers))
+	case EvRunEnd:
+		b = appendString(b, "status", e.Status)
+		b = appendInt(b, "done", int64(e.Done))
+		b = appendInt(b, "windows", int64(e.Windows))
+		b = appendFloat(b, "seconds", e.Seconds)
+		if e.Err != "" {
+			b = appendString(b, "err", e.Err)
+		}
+	case EvStageStart:
+		b = appendString(b, "stage", e.Stage)
+	case EvStageEnd:
+		b = appendString(b, "stage", e.Stage)
+		b = appendFloat(b, "seconds", e.Seconds)
+		if e.Err != "" {
+			b = appendString(b, "err", e.Err)
+		}
+	case EvWindowStart:
+		b = appendInt(b, "window", int64(e.Window))
+		b = appendInt(b, "worker", int64(e.Worker))
+	case EvWindowDone:
+		b = appendInt(b, "window", int64(e.Window))
+		b = appendInt(b, "worker", int64(e.Worker))
+		b = appendString(b, "status", e.Status)
+		b = appendInt(b, "iterations", int64(e.Iterations))
+		b = appendFloat(b, "residual", e.Residual)
+		b = appendFloat(b, "seconds", e.Seconds)
+	case EvRetry:
+		b = appendInt(b, "window", int64(e.Window))
+		b = appendInt(b, "worker", int64(e.Worker))
+		b = appendInt(b, "attempt", int64(e.Attempt))
+		if e.Err != "" {
+			b = appendString(b, "err", e.Err)
+		}
+	case EvDegrade:
+		b = appendInt(b, "window", int64(e.Window))
+		b = appendInt(b, "worker", int64(e.Worker))
+	case EvQuarantine:
+		b = appendInt(b, "window", int64(e.Window))
+		b = appendInt(b, "worker", int64(e.Worker))
+		b = appendInt(b, "attempt", int64(e.Attempt))
+		if e.Err != "" {
+			b = appendString(b, "err", e.Err)
+		}
+	case EvCheckpointWrite, EvCheckpointResume:
+		b = appendInt(b, "window", int64(e.Window))
+	case EvCancel:
+		b = appendInt(b, "done", int64(e.Done))
+		b = appendInt(b, "windows", int64(e.Windows))
+	}
+	return append(b, '}')
+}
+
+// MarshalJSON renders the event through AppendJSON, so exported JSON
+// and the journal's JSONL/SSE wire format are the same bytes.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return e.AppendJSON(nil), nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -85,9 +86,10 @@ func (c *FaultCounters) RegisterOn(r *Registry, prefix string) {
 type metric struct {
 	name string
 	help string
-	kind string // "counter" or "gauge"
+	kind string // "counter", "gauge", or "histogram"
 	ctr  *Counter
 	fn   GaugeFunc
+	hist *Histogram
 }
 
 // Registry is a minimal metrics registry exposed over both the expvar
@@ -132,6 +134,28 @@ func (r *Registry) Gauge(name, help string, fn GaugeFunc) {
 	r.metrics[name] = &metric{name: name, help: help, kind: "gauge", fn: fn}
 }
 
+// Histogram registers (or returns the existing) histogram with this
+// name over the given bucket upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok && m.hist != nil {
+		return m.hist
+	}
+	h := NewHistogram(bounds)
+	r.metrics[name] = &metric{name: name, help: help, kind: "histogram", hist: h}
+	return h
+}
+
+// RegisterHistogram registers an externally-owned histogram under name,
+// replacing any previous registration — the histogram counterpart of
+// RegisterCounter.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = &metric{name: name, help: help, kind: "histogram", hist: h}
+}
+
 func (r *Registry) sorted() []*metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -144,29 +168,51 @@ func (r *Registry) sorted() []*metric {
 }
 
 // WriteProm renders the registry in the Prometheus text exposition
-// format.
+// format. Histograms render the standard cumulative _bucket series
+// with le labels (including +Inf), plus _sum and _count.
 func (r *Registry) WriteProm(w io.Writer) {
 	for _, m := range r.sorted() {
 		if m.help != "" {
 			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind)
-		if m.ctr != nil {
+		switch {
+		case m.ctr != nil:
 			fmt.Fprintf(w, "%s %d\n", m.name, m.ctr.Value())
-		} else {
+		case m.hist != nil:
+			s := m.hist.Snapshot()
+			var cum int64
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatLe(bound), cum)
+			}
+			cum += s.Counts[len(s.Bounds)]
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(w, "%s_sum %g\n", m.name, s.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", m.name, s.Count)
+		default:
 			fmt.Fprintf(w, "%s %g\n", m.name, m.fn())
 		}
 	}
 }
 
+// formatLe renders a bucket bound the way Prometheus clients do.
+func formatLe(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
 // Snapshot returns the current values keyed by metric name (the expvar
-// representation).
+// representation). Histograms contribute <name>_count and <name>_sum
+// entries.
 func (r *Registry) Snapshot() map[string]float64 {
 	out := map[string]float64{}
 	for _, m := range r.sorted() {
-		if m.ctr != nil {
+		switch {
+		case m.ctr != nil:
 			out[m.name] = float64(m.ctr.Value())
-		} else {
+		case m.hist != nil:
+			s := m.hist.Snapshot()
+			out[m.name+"_count"] = float64(s.Count)
+			out[m.name+"_sum"] = s.Sum
+		default:
 			out[m.name] = m.fn()
 		}
 	}

@@ -1,12 +1,16 @@
 package obs
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
 
 // NewMux builds the observability HTTP handler:
@@ -16,6 +20,8 @@ import (
 //	/debug/pprof/  the standard net/http/pprof handlers
 //
 // reg may be nil, in which case /metrics serves an empty exposition.
+// Live endpoints (/status, /events) are mounted separately with
+// HandleLive, so scrape-only callers pay nothing for them.
 func NewMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -27,26 +33,37 @@ func NewMux(reg *Registry) *http.ServeMux {
 	// A self-contained /debug/vars: the expvar package's handler only
 	// registers on http.DefaultServeMux, and expvar.Publish is global
 	// (panics on duplicate names), so we render the same JSON shape
-	// ourselves and append the registry under "pmpr".
+	// ourselves and append the registry under "pmpr". The document is
+	// assembled in a buffer first so a marshal failure can still become
+	// a clean 500 and so the write happens (and is checked) once.
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		fmt.Fprintf(w, "{\n")
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "{\n")
 		first := true
 		expvar.Do(func(kv expvar.KeyValue) {
 			if !first {
-				fmt.Fprintf(w, ",\n")
+				fmt.Fprintf(&buf, ",\n")
 			}
 			first = false
-			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+			fmt.Fprintf(&buf, "%q: %s", kv.Key, kv.Value)
 		})
 		if reg != nil {
-			if !first {
-				fmt.Fprintf(w, ",\n")
+			b, err := json.Marshal(reg.Snapshot())
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
 			}
-			b, _ := json.Marshal(reg.Snapshot())
-			fmt.Fprintf(w, "%q: %s", "pmpr", b)
+			if !first {
+				fmt.Fprintf(&buf, ",\n")
+			}
+			fmt.Fprintf(&buf, "%q: %s", "pmpr", b)
 		}
-		fmt.Fprintf(w, "\n}\n")
+		fmt.Fprintf(&buf, "\n}\n")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			// The client went away mid-write; nothing useful to do.
+			return
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -60,22 +77,76 @@ func NewMux(reg *Registry) *http.ServeMux {
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
+	// serveErr receives the background Serve's return value exactly
+	// once; Shutdown/Close surface it instead of dropping it.
+	serveErr chan error
+
+	once sync.Once
+	err  error
 }
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// stop tears the server down, via graceful() first, and folds in the
+// background Serve error (http.ErrServerClosed is the clean-exit
+// sentinel, not a failure). Safe to call multiple times; later calls
+// return the first result.
+func (s *Server) stop(graceful func() error) error {
+	s.once.Do(func() {
+		err := graceful()
+		// Serve is guaranteed to have returned once Shutdown/Close has
+		// closed the listener, so this receive does not block for long.
+		if serr := <-s.serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+			err = serr
+		}
+		s.err = err
+	})
+	return s.err
+}
+
+// Shutdown stops the server gracefully: the listener closes
+// immediately, in-flight requests (a /metrics scrape, an /events
+// stream) get until ctx's deadline to finish, and any error from the
+// background Serve goroutine is surfaced. Connections still open at
+// the deadline — an /events SSE stream never ends on its own — are
+// force-closed rather than reported as an error, so a watcher being
+// attached does not block or fail process exit. Callers own the
+// deadline — pmrank/pmbench use a short timeout so SIGINT still exits
+// promptly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.stop(func() error {
+		err := s.srv.Shutdown(ctx)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return s.srv.Close()
+		}
+		return err
+	})
+}
+
+// Close shuts the server down immediately, aborting in-flight
+// requests. Prefer Shutdown, which lets a scrape in progress finish.
+func (s *Server) Close() error {
+	return s.stop(s.srv.Close)
+}
 
 // Serve binds addr and serves the observability mux in a background
-// goroutine. The caller owns the returned server and should Close it.
+// goroutine. The caller owns the returned server and should Shutdown
+// (or Close) it.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, NewMux(reg))
+}
+
+// ServeHandler binds addr and serves an arbitrary handler — typically
+// NewMux(reg) with live endpoints mounted via HandleLive — in a
+// background goroutine.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewMux(reg)}
-	go srv.Serve(ln)
-	return &Server{srv: srv, ln: ln}, nil
+	srv := &http.Server{Handler: h}
+	s := &Server{srv: srv, ln: ln, serveErr: make(chan error, 1)}
+	go func() { s.serveErr <- srv.Serve(ln) }()
+	return s, nil
 }
