@@ -9,15 +9,28 @@
 //
 // Usage:
 //
-//	pmvet [-rules panic,hotpath,floateq,closecheck,doc] [-list] [packages]
+//	pmvet [flags] [packages]
+//
+//	-rules panic,hotpath,...  run a rule subset (default: all)
+//	-list                     list the available rules and exit
+//	-json                     emit findings as a JSON array on stdout
+//	-graph                    dump the module call graph and exit
+//	-effort quick|full        analysis tier: quick scopes the transitive
+//	                          hotpath rule to internal/core+internal/sched
+//	                          (pre-commit); full is module-wide (CI)
+//	-strict                   stale //pmvet:ignore directives fail the run
+//	                          instead of warning
+//	-timings                  print per-rule wall times to stderr
 //
 // Packages default to ./... and are module-relative patterns
 // ("./internal/core", "./internal/..."). Suppress a single finding with
 // a "//pmvet:ignore rule -- rationale" comment on the offending line or
-// the line above it.
+// the line above it; pmvet reports directives that no longer suppress
+// anything, so suppressions cannot outlive their finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,22 +38,48 @@ import (
 	"pmpr/internal/lint"
 )
 
+// jsonFinding is the -json wire form of one finding, shaped so a CI
+// problem matcher (or jq) picks out file/line/rule directly.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	// Severity is "error" for rule findings and "warning" for stale
+	// ignore directives (unless -strict promotes them).
+	Severity string `json:"severity"`
+}
+
 func main() {
 	var (
-		rules = flag.String("rules", "", "comma-separated rule subset (default: all)")
-		list  = flag.Bool("list", false, "list the available rules and exit")
+		rules    = flag.String("rules", "", "comma-separated rule subset (default: all)")
+		list     = flag.Bool("list", false, "list the available rules and exit")
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON on stdout")
+		graphOut = flag.Bool("graph", false, "dump the module call graph and exit")
+		effort   = flag.String("effort", "full", "analysis tier: quick (core+sched) or full (module-wide)")
+		strict   = flag.Bool("strict", false, "stale //pmvet:ignore directives fail the run")
+		timings  = flag.Bool("timings", false, "print per-rule wall times to stderr")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-11s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-13s %s\n", a.Name(), a.Doc())
 		}
 		return
 	}
 	analyzers, err := lint.ByName(*rules)
 	if err != nil {
 		fatal(err)
+	}
+	var tier lint.Effort
+	switch *effort {
+	case "quick":
+		tier = lint.EffortQuick
+	case "full":
+		tier = lint.EffortFull
+	default:
+		fatal(fmt.Errorf("unknown -effort %q (quick or full)", *effort))
 	}
 
 	wd, err := os.Getwd()
@@ -56,13 +95,67 @@ func main() {
 		fatal(err)
 	}
 
-	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	mod := lint.NewModule(pkgs)
+	mod.Effort = tier
+
+	if *graphOut {
+		if err := mod.Graph().WriteGraph(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "pmvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+
+	rep := lint.Analyze(mod, analyzers)
+	if *timings {
+		for _, t := range rep.Timings {
+			fmt.Fprintf(os.Stderr, "pmvet: %-13s %8.1fms (effort=%s)\n",
+				t.Rule, float64(t.Elapsed.Microseconds())/1000, *effort)
+		}
+	}
+
+	failing := len(rep.Findings)
+	if *strict {
+		failing += len(rep.Stale)
+	}
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(rep.Findings)+len(rep.Stale))
+		for _, f := range rep.Findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line,
+				Rule: f.Rule, Message: f.Msg, Severity: "error",
+			})
+		}
+		for _, f := range rep.Stale {
+			sev := "warning"
+			if *strict {
+				sev = "error"
+			}
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line,
+				Rule: f.Rule, Message: f.Msg, Severity: sev,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Println(f)
+		}
+		for _, f := range rep.Stale {
+			fmt.Printf("%s [stale suppression]\n", f)
+		}
+	}
+
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "pmvet: %d failing finding(s) in %d package(s)\n", failing, len(pkgs))
 		os.Exit(1)
+	}
+	if len(rep.Stale) > 0 {
+		fmt.Fprintf(os.Stderr, "pmvet: %d stale suppression(s) (warnings; -strict to fail)\n", len(rep.Stale))
 	}
 }
 

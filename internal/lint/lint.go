@@ -7,13 +7,26 @@
 // silent indexing or allocation mistake produces plausible-but-wrong
 // ranks; these rules make the dangerous patterns loud at review time.
 //
+// The engine has two layers. The facts layer (callgraph.go,
+// effects.go) builds a module-wide call graph — direct calls, method
+// calls devirtualized through module interfaces like core.Kernel,
+// function values traced through fields, parameters, and results —
+// plus per-function effect summaries (allocates, blocks, which struct
+// fields are touched atomically vs. plainly). The rules layer consumes
+// those facts: per-package Analyzers see one package at a time, and
+// ModuleAnalyzers (hotpath, atomicmix, goleak, eventexhaust) see the
+// whole module through a Module and can prove reachability properties
+// no single-package rule can.
+//
 // Each rule is individually suppressible at a finding site with a
 //
 //	//pmvet:ignore rule[,rule...] [-- rationale]
 //
 // comment on the offending line or the line directly above it. The
 // rationale after "--" is for the human reader; pmvet only matches the
-// rule list.
+// rule list. Analyze additionally reports directives that no longer
+// suppress anything (stale ignores), so suppressions cannot outlive
+// the finding they were reviewed for.
 package lint
 
 import (
@@ -23,6 +36,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one rule violation, rendered as "file:line: rule: message".
@@ -52,7 +66,7 @@ type Package struct {
 	// Info carries the type-checker's expression/object tables.
 	Info *types.Info
 
-	ignores map[string]map[int][]string // filename -> line -> suppressed rules
+	ignores map[string]map[int][]*ignoreEntry // filename -> line -> directives
 }
 
 // Analyzer is one pmvet rule.
@@ -65,6 +79,83 @@ type Analyzer interface {
 	Check(pkg *Package) []Finding
 }
 
+// ModuleAnalyzer is a rule that needs whole-module facts (the call
+// graph, cross-package effect joins). Its CheckModule runs once per
+// analysis; its per-package Check is a no-op so it still satisfies
+// Analyzer for -rules selection and -list.
+type ModuleAnalyzer interface {
+	Analyzer
+	// CheckModule reports the rule's findings for the whole module.
+	CheckModule(m *Module) []Finding
+}
+
+// Effort selects how much of the module the expensive module rules
+// cover. The facts layer always spans every loaded package (the call
+// graph is cheap); effort scopes only where the transitive rules
+// *look for entry points*, so the pre-commit path stays fast while CI
+// proves the property module-wide.
+type Effort string
+
+// The effort tiers.
+const (
+	// EffortQuick scopes transitive-rule entry discovery to
+	// internal/core and internal/sched — the hot substrate — for the
+	// pre-commit path.
+	EffortQuick Effort = "quick"
+	// EffortFull discovers entry points module-wide (the CI default).
+	EffortFull Effort = "full"
+)
+
+// Module is the whole-module view handed to ModuleAnalyzers: the
+// loaded packages plus lazily built facts (call graph, effect
+// summaries) shared by every rule that needs them.
+type Module struct {
+	// Pkgs are the loaded packages, in load order.
+	Pkgs []*Package
+	// Effort is the analysis tier (defaults to EffortFull).
+	Effort Effort
+
+	graph     *CallGraph
+	effects   map[*FuncNode]*FuncEffects
+	fileOwner map[string]*Package
+}
+
+// NewModule wraps loaded packages for module-level analysis.
+func NewModule(pkgs []*Package) *Module {
+	return &Module{Pkgs: pkgs, Effort: EffortFull}
+}
+
+// Graph returns the module call graph, building it on first use.
+func (m *Module) Graph() *CallGraph {
+	if m.graph == nil {
+		m.graph = BuildCallGraph(m.Pkgs)
+	}
+	return m.graph
+}
+
+// Effects returns the per-function effect summaries, built on first
+// use alongside the graph.
+func (m *Module) Effects() map[*FuncNode]*FuncEffects {
+	if m.effects == nil {
+		m.effects = ComputeEffects(m.Graph())
+	}
+	return m.effects
+}
+
+// PackageFor resolves the package that owns a filename, so module-rule
+// findings are suppressed against the right package's ignore index.
+func (m *Module) PackageFor(filename string) *Package {
+	if m.fileOwner == nil {
+		m.fileOwner = make(map[string]*Package)
+		for _, pkg := range m.Pkgs {
+			for _, file := range pkg.Files {
+				m.fileOwner[pkg.Fset.Position(file.Pos()).Filename] = pkg
+			}
+		}
+	}
+	return m.fileOwner[filename]
+}
+
 // Analyzers returns the full rule set in stable order.
 func Analyzers() []Analyzer {
 	return []Analyzer{
@@ -75,6 +166,10 @@ func Analyzers() []Analyzer {
 		closecheckRule{},
 		docRule{},
 		ctxfirstRule{},
+		atomicmixRule{},
+		goleakRule{},
+		lockbalanceRule{},
+		eventexhaustRule{},
 	}
 }
 
@@ -111,41 +206,123 @@ func ruleNames(as []Analyzer) string {
 	return strings.Join(names, ", ")
 }
 
-// Run applies the analyzers to every package, drops suppressed
-// findings, and returns the rest sorted by position.
-func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
-	var out []Finding
-	for _, pkg := range pkgs {
+// Timing is one rule's wall-clock cost, reported so the effort tiers
+// stay honest about what each one buys.
+type Timing struct {
+	// Rule is the analyzer name ("<facts>" for graph+effects build).
+	Rule string
+	// Elapsed is the rule's wall time.
+	Elapsed time.Duration
+}
+
+// Report is the full result of one Analyze call.
+type Report struct {
+	// Findings are the unsuppressed rule findings, sorted by position.
+	Findings []Finding
+	// Stale are //pmvet:ignore directives that name a selected rule but
+	// suppressed nothing this run (rule name "stale-ignore"). Warnings
+	// by default; pmvet -strict promotes them to failures.
+	Stale []Finding
+	// Timings are per-rule wall times in execution order.
+	Timings []Timing
+}
+
+// StaleRule is the pseudo-rule name stale-directive findings carry.
+const StaleRule = "stale-ignore"
+
+// Analyze applies the analyzers to the module: per-package rules run
+// on each package, module rules run once over the whole module, and
+// every finding is filtered through the owning package's ignore
+// directives. Directives that name a selected rule but matched nothing
+// are reported in Report.Stale.
+func Analyze(m *Module, analyzers []Analyzer) *Report {
+	rep := &Report{}
+	for _, pkg := range m.Pkgs {
 		pkg.buildIgnores()
-		for _, a := range analyzers {
-			for _, f := range a.Check(pkg) {
-				if !pkg.suppressed(f) {
-					out = append(out, f)
+	}
+	selected := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		selected[a.Name()] = true
+	}
+	needFacts := false
+	for _, a := range analyzers {
+		if _, ok := a.(ModuleAnalyzer); ok {
+			needFacts = true
+		}
+	}
+	if needFacts {
+		start := time.Now()
+		m.Effects() // builds graph + summaries once, outside rule timings
+		rep.Timings = append(rep.Timings, Timing{Rule: "<facts>", Elapsed: time.Since(start)})
+	}
+	for _, a := range analyzers {
+		start := time.Now()
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			for _, f := range ma.CheckModule(m) {
+				owner := m.PackageFor(f.Pos.Filename)
+				if owner == nil || !owner.suppress(f) {
+					rep.Findings = append(rep.Findings, f)
+				}
+			}
+		} else {
+			for _, pkg := range m.Pkgs {
+				for _, f := range a.Check(pkg) {
+					if !pkg.suppress(f) {
+						rep.Findings = append(rep.Findings, f)
+					}
 				}
 			}
 		}
+		rep.Timings = append(rep.Timings, Timing{Rule: a.Name(), Elapsed: time.Since(start)})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	for _, pkg := range m.Pkgs {
+		rep.Stale = append(rep.Stale, pkg.staleIgnores(selected)...)
+	}
+	sortFindings(rep.Findings)
+	sortFindings(rep.Stale)
+	return rep
+}
+
+// Run applies the analyzers to the packages and returns the
+// unsuppressed findings sorted by position. It is the simple wrapper
+// over Analyze for callers that do not need stale-ignore or timing
+// data.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	return Analyze(NewModule(pkgs), analyzers).Findings
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
-	return out
 }
 
 const ignoreMarker = "pmvet:ignore"
+
+// ignoreEntry is one rule named by one //pmvet:ignore directive, with
+// a usage bit for the stale audit.
+type ignoreEntry struct {
+	rule string
+	pos  token.Position
+	used bool
+}
 
 // buildIgnores indexes every //pmvet:ignore comment by file and line.
 func (p *Package) buildIgnores() {
 	if p.ignores != nil {
 		return
 	}
-	p.ignores = make(map[string]map[int][]string)
+	p.ignores = make(map[string]map[int][]*ignoreEntry)
 	for _, file := range p.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -162,12 +339,12 @@ func (p *Package) buildIgnores() {
 				pos := p.Fset.Position(c.Pos())
 				lines := p.ignores[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*ignoreEntry)
 					p.ignores[pos.Filename] = lines
 				}
 				for _, r := range strings.Split(spec, ",") {
 					if r = strings.TrimSpace(r); r != "" {
-						lines[pos.Line] = append(lines[pos.Line], r)
+						lines[pos.Line] = append(lines[pos.Line], &ignoreEntry{rule: r, pos: pos})
 					}
 				}
 			}
@@ -175,21 +352,46 @@ func (p *Package) buildIgnores() {
 	}
 }
 
-// suppressed reports whether an ignore comment on the finding's line or
-// the line above names the finding's rule.
-func (p *Package) suppressed(f Finding) bool {
+// suppress reports whether an ignore comment on the finding's line or
+// the line above names the finding's rule, marking the directive used.
+func (p *Package) suppress(f Finding) bool {
 	lines := p.ignores[f.Pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, rule := range lines[line] {
-			if rule == f.Rule {
-				return true
+		for _, e := range lines[line] {
+			if e.rule == f.Rule {
+				e.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// staleIgnores reports the package's directives that name a rule in
+// the selected set but suppressed nothing. Directives for unselected
+// rules are left alone — a -rules subset must not call the other
+// rules' suppressions stale.
+func (p *Package) staleIgnores(selected map[string]bool) []Finding {
+	var out []Finding
+	for _, lines := range p.ignores {
+		for _, entries := range lines {
+			for _, e := range entries {
+				if e.used || !selected[e.rule] {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:  e.pos,
+					Rule: StaleRule,
+					Msg:  fmt.Sprintf("//pmvet:ignore %s suppresses nothing (remove it or fix the rule list)", e.rule),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // findingf appends a finding at node's position.

@@ -1,17 +1,17 @@
 package lint
 
 import (
+	"fmt"
+	"strings"
 	"testing"
+
+	"pmpr/internal/core"
 )
 
-// TestRepoLintsClean is the in-process version of the CI pmvet gate:
-// the whole module must load, type-check, and produce zero findings.
-// Intentional exemptions live as //pmvet:ignore comments in the code,
-// never in the tool.
-func TestRepoLintsClean(t *testing.T) {
-	if testing.Short() {
-		t.Skip("loads and type-checks the whole module from source")
-	}
+// loadRepo loads and type-checks the whole module from source for the
+// in-process repo gates.
+func loadRepo(t *testing.T) []*Package {
+	t.Helper()
 	loader, err := NewLoader(".")
 	if err != nil {
 		t.Fatalf("NewLoader: %v", err)
@@ -26,8 +26,58 @@ func TestRepoLintsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	for _, f := range Run(pkgs, Analyzers()) {
+	return pkgs
+}
+
+// TestRepoLintsClean is the in-process version of the CI pmvet gate:
+// the whole module must produce zero findings with every rule enabled,
+// and — the strict tier — zero stale suppressions. Intentional
+// exemptions live as //pmvet:ignore comments in the code, never in the
+// tool.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module from source")
+	}
+	rep := Analyze(NewModule(loadRepo(t)), Analyzers())
+	for _, f := range rep.Findings {
 		t.Errorf("unexpected finding: %s", f)
+	}
+	for _, f := range rep.Stale {
+		t.Errorf("stale suppression (prune the directive): %s", f)
+	}
+}
+
+// TestRepoHotpathCoversRegistry proves the acceptance criterion that
+// the transitive hotpath rule roots every kernel the runtime registry
+// actually contains: for each registered kernel, the static entry
+// discovery must have found its Init/Iterate/Residual methods. This
+// links the two worlds — core's init-time registration and pmvet's
+// call-site scan for RegisterKernel — so a kernel added without static
+// coverage fails here, not silently.
+func TestRepoHotpathCoversRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module from source")
+	}
+	names := core.RegisteredKernels()
+	if len(names) < 3 {
+		t.Fatalf("suspiciously few registered kernels: %v", names)
+	}
+	entries := HotpathEntryNames(NewModule(loadRepo(t)))
+	have := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		have[e] = true
+	}
+	for _, name := range names {
+		k, ok := core.LookupKernel(name)
+		if !ok {
+			t.Fatalf("registry lists %q but lookup fails", name)
+		}
+		tn := strings.TrimPrefix(fmt.Sprintf("%T", k), "*")
+		for _, method := range []string{"Init", "Iterate", "Residual"} {
+			if !have[tn+"."+method] {
+				t.Errorf("kernel %q (%s): %s not rooted by hotpath; entries: %v", name, tn, method, entries)
+			}
+		}
 	}
 }
 

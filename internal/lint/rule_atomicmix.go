@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// atomicmixRule enforces the module's single-synchronization-discipline
+// invariant on struct fields: a field accessed through sync/atomic
+// anywhere must be accessed through sync/atomic everywhere — a single
+// plain load racing an atomic store is undefined behavior the race
+// detector only catches if the schedule cooperates. The rule joins the
+// effect layer's per-function field-access records across the whole
+// module:
+//
+//   - A field with at least one function-style atomic access
+//     (atomic.AddInt64(&x.f, ...)) must have no plain access outside
+//     constructor/init paths (functions named init, New*, or new*,
+//     where the struct is not yet shared).
+//   - A typed atomic field (atomic.Int64, atomic.Bool, ...) must never
+//     be copied by value or assigned over — Go vet catches some of
+//     these, but only inside one package at a time.
+type atomicmixRule struct{}
+
+func (atomicmixRule) Name() string { return "atomicmix" }
+func (atomicmixRule) Doc() string {
+	return "fields accessed via sync/atomic must not also be accessed plainly outside init/ctor paths"
+}
+
+// Check is a no-op: atomicmix is a module rule (see CheckModule).
+func (atomicmixRule) Check(*Package) []Finding { return nil }
+
+// CheckModule joins field accesses module-wide and reports the mixes.
+func (r atomicmixRule) CheckModule(m *Module) []Finding {
+	effects := m.Effects()
+	g := m.Graph()
+
+	type access struct {
+		node *FuncNode
+		FieldAccess
+	}
+	byField := make(map[*types.Var][]access)
+	for _, n := range g.Nodes {
+		fe := effects[n]
+		if fe == nil {
+			continue
+		}
+		for _, a := range fe.Accesses {
+			byField[a.Field] = append(byField[a.Field], access{node: n, FieldAccess: a})
+		}
+	}
+
+	var out []Finding
+	seen := make(map[token.Pos]bool)
+	emit := func(n *FuncNode, pos token.Pos, msg string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		out = append(out, Finding{Pos: n.Pkg.Fset.Position(pos), Rule: r.Name(), Msg: msg})
+	}
+
+	for field, accs := range byField {
+		atomicCount := 0
+		for _, a := range accs {
+			if a.Mode == AccessAtomic {
+				atomicCount++
+			}
+		}
+		for _, a := range accs {
+			switch a.Mode {
+			case AccessCopy:
+				// Copying a typed atomic is always wrong, mixed or not.
+				emit(a.node, a.Pos, "typed atomic field "+fieldDisplayName(field)+
+					" copied or assigned by value (use its Load/Store methods)")
+			case AccessPlain:
+				if atomicCount == 0 || inCtorPath(a.node) {
+					continue
+				}
+				emit(a.node, a.Pos, "field "+fieldDisplayName(field)+
+					" is accessed via sync/atomic elsewhere but plainly here (in "+
+					shortName(a.node.Name)+")")
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// inCtorPath reports whether the node is a constructor or initializer,
+// where the struct is not yet visible to other goroutines: package
+// init functions, New*/new* constructors, and literals nested inside
+// them (their names extend the parent's).
+func inCtorPath(n *FuncNode) bool {
+	name := shortName(n.Name)
+	// Strip any .funcN literal suffixes so closures inherit the parent's
+	// classification.
+	if i := strings.Index(name, ".func"); i >= 0 {
+		name = name[:i]
+	}
+	// The function segment is the last dot-separated part (methods are
+	// Recv.Name; constructors are plain names).
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	return name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// fieldDisplayName renders Struct.field for findings.
+func fieldDisplayName(field *types.Var) string {
+	name := field.Name()
+	if field.Pkg() != nil {
+		return field.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// goleakRule audits every goroutine launch site in the module for an
+// exit discipline. A `go` statement with no visible way to stop is how
+// engines accumulate zombie goroutines across runs — each one holds
+// its stack, its captured references, and possibly a lock. The rule
+// accepts a launch when the launched body satisfies any of:
+//
+//   - it selects on (or receives from) a context's Done channel, so
+//     cancellation reaches it;
+//   - it calls Done on a sync.WaitGroup (directly or deferred), so a
+//     joiner can wait for it;
+//   - it is a single-send handoff — a one-statement body whose only
+//     statement sends on a channel (the `go func() { ch <- f() }()`
+//     idiom, where the goroutine's lifetime is exactly one blocking
+//     call and the channel is the join);
+//   - it receives from a channel in a loop terminated by channel close
+//     (a `for range ch` worker, joined by closing the channel).
+//
+// Anything else — including a launch the analyzer cannot resolve to a
+// body — is flagged for a fix or a reviewed //pmvet:ignore with the
+// actual join protocol in the rationale.
+type goleakRule struct{}
+
+func (goleakRule) Name() string { return "goleak" }
+func (goleakRule) Doc() string {
+	return "every go statement must select on ctx.Done, join via WaitGroup, hand off on a channel, or range a closed channel"
+}
+
+// Check is a no-op: goleak is a module rule (see CheckModule).
+func (goleakRule) Check(*Package) []Finding { return nil }
+
+// CheckModule inspects the body launched by every EdgeGo edge.
+func (r goleakRule) CheckModule(m *Module) []Finding {
+	g := m.Graph()
+	var out []Finding
+	for _, n := range g.Nodes {
+		for _, e := range n.Edges {
+			if e.Kind != EdgeGo {
+				continue
+			}
+			body := e.Callee.body
+			if body == nil {
+				out = append(out, Finding{
+					Pos:  n.Pkg.Fset.Position(e.Site.Pos()),
+					Rule: r.Name(),
+					Msg:  "goroutine launches " + shortName(e.Callee.Name) + ", whose exit discipline cannot be verified (no body)",
+				})
+				continue
+			}
+			if goroutineDisciplined(e.Callee.Pkg, body) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  n.Pkg.Fset.Position(e.Site.Pos()),
+				Rule: r.Name(),
+				Msg: "goroutine " + shortName(e.Callee.Name) +
+					" has no visible exit discipline (no ctx.Done select, WaitGroup.Done, channel handoff, or close-joined range)",
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// goroutineDisciplined reports whether the launched body shows one of
+// the accepted exit disciplines.
+func goroutineDisciplined(pkg *Package, body *ast.BlockStmt) bool {
+	// Single-send handoff: the whole body is one channel send.
+	if len(body.List) == 1 {
+		if _, ok := body.List[0].(*ast.SendStmt); ok {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := node.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				// ctx.Done() anywhere (a select case, a receive) counts:
+				// cancellation is wired in.
+				if sel.Sel.Name == "Done" && isContextExpr(pkg, sel.X) {
+					found = true
+				}
+				// wg.Done() (including deferred) marks a joinable goroutine.
+				if sel.Sel.Name == "Done" && isWaitGroupExpr(pkg, sel.X) {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			// for range ch: terminated by close(ch).
+			if t := pkg.Info.TypeOf(e.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isContextExpr reports whether e's type is context.Context.
+func isContextExpr(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isWaitGroupExpr reports whether e's type is sync.WaitGroup.
+func isWaitGroupExpr(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

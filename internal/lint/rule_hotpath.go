@@ -4,236 +4,317 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"path/filepath"
+	"sort"
 	"strings"
 )
 
-// hotpathRule guards the per-vertex/per-edge loop bodies of the hot
-// kernels: the function literals handed to a forLoop (`loop(n, ...)`)
-// or to the scheduler's ParallelFor. These closures run millions of
-// times per solve; a stray fmt call, an append that grows a slice, a
-// map literal, or a string concatenation turns an O(edges) sweep into
-// an allocation storm that the benchmarks then misattribute to the
-// algorithm. In internal/core, where every kernel buffer comes from the
-// scratch arena, any make() inside a loop body is flagged — the
-// steady-state iterations are contractually allocation-free there.
-// The rule applies only to the designated hot files
-// (internal/core/kernel_*.go + loop.go, internal/sched/sched.go,
-// internal/streaming/runner.go).
+// hotpathRule proves the engine's central performance invariant
+// transitively: nothing reachable from a registered kernel's hot
+// methods allocates or blocks. The old version of this rule was
+// syntactic — it looked inside the loop-body literals at the call site
+// and could be defeated by one level of indirection (move the append
+// into a helper and the rule went quiet). This version walks the
+// module call graph from two families of entry points:
+//
+//   - Every kernel registered via core.RegisterKernel: Iterate and
+//     Residual may neither allocate nor block anywhere in their
+//     transitive call tree; Init may allocate (the documented kernel
+//     contract amortizes one boxed-state allocation per batch there)
+//     but must not block.
+//   - Every closure handed to ParallelFor/ParallelForCtx anywhere in
+//     the module (internal/core only under -effort quick): inside
+//     internal/core the full no-alloc/no-block ban applies; elsewhere
+//     the ban is the classic hot-loop set — fmt/log-style calls,
+//     append, map allocation, string concatenation — so analysis
+//     loop bodies that legitimately make scratch slices stay legal.
+//
+// The traversal does not descend into internal/sched itself: the
+// scheduler is the audited synchronization substrate (its locks and
+// sleeps are the mechanism that runs the hot loops, checked by
+// lockbalance/goleak instead), and bodies passed to it are still
+// traced because the flow analysis connects them to the loop drivers
+// in internal/core.
 type hotpathRule struct{}
 
 func (hotpathRule) Name() string { return "hotpath" }
 func (hotpathRule) Doc() string {
-	return "no fmt/log, append, make, map allocation, or string concat inside hot kernel loop bodies"
+	return "no alloc/block effect reachable from registered kernels' Init/Iterate/Residual or ParallelFor bodies"
 }
 
-// hotFile reports whether the rule covers this file.
-func hotFile(pkgPath, base string) bool {
-	switch {
-	case strings.HasSuffix(pkgPath, "internal/core"):
-		return strings.HasPrefix(base, "kernel_") || base == "loop.go"
-	case strings.HasSuffix(pkgPath, "internal/sched"):
-		return base == "sched.go"
-	case strings.HasSuffix(pkgPath, "internal/streaming"):
-		return base == "runner.go"
-	}
-	return false
-}
+// Check is a no-op: hotpath is a module rule (see CheckModule).
+func (hotpathRule) Check(*Package) []Finding { return nil }
 
-// hotLoopCall reports whether call hands a loop body to the scheduler:
-// a `loop(...)` invocation (the kernels' forLoop, whether a parameter or
-// a Batch field) or a `.ParallelFor`/`.ParallelForCtx` method call.
-func hotLoopCall(call *ast.CallExpr) bool {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		return fun.Name == "loop"
-	case *ast.SelectorExpr:
-		return fun.Sel.Name == "ParallelFor" || fun.Sel.Name == "ParallelForCtx" || fun.Sel.Name == "loop"
-	}
-	return false
-}
+// hotBan selects which effect kinds are forbidden for one entry.
+type hotBan uint8
 
-func (r hotpathRule) Check(pkg *Package) []Finding {
-	var out []Finding
-	for _, file := range pkg.Files {
-		if isTestFile(pkg, file) {
-			continue
-		}
-		base := filepath.Base(pkg.Fset.Position(file.Pos()).Filename)
-		if !hotFile(pkg.Path, base) {
-			continue
-		}
-		// The kernels bind their loop bodies to locals once per solve
-		// (`pass1 := func(...)`) and pass the identifier, so resolve
-		// idents at loop call sites back to their function literals.
-		bound := boundFuncLits(pkg, file)
-		checked := map[*ast.FuncLit]bool{}
-		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || !hotLoopCall(call) {
-				return true
-			}
-			for _, arg := range call.Args {
-				var body *ast.FuncLit
-				switch arg := arg.(type) {
-				case *ast.FuncLit:
-					body = arg
-				case *ast.Ident:
-					body = bound[pkg.Info.Uses[arg]]
-				case *ast.SelectorExpr:
-					// Kernel state fields: `b.loop(n, s.pass1)`.
-					body = bound[pkg.Info.Uses[arg.Sel]]
-				}
-				if body != nil && !checked[body] {
-					checked[body] = true
-					r.checkBody(pkg, body.Body, &out)
-				}
-			}
+// The ban levels, strictest first.
+const (
+	// banAllocBlock forbids every alloc and block effect (kernel
+	// Iterate/Residual, core loop bodies).
+	banAllocBlock hotBan = iota
+	// banBlock forbids only blocking (kernel Init).
+	banBlock
+	// banClassic forbids the classic hot-loop set: fmt/log calls,
+	// append, map allocation, string concat (non-core loop bodies).
+	banClassic
+)
+
+// banned reports whether an effect is forbidden at this ban level.
+func (b hotBan) banned(e Effect) bool {
+	switch b {
+	case banAllocBlock:
+		return true // any recorded effect is an alloc or a block
+	case banBlock:
+		return e.Kind.IsBlock()
+	case banClassic:
+		switch e.Kind {
+		case AllocAppend, AllocConcat, AllocCall, AllocMakeMap:
 			return true
-		})
+		case AllocLit:
+			return e.Desc == "map literal"
+		}
+		return false
+	}
+	return false
+}
+
+// hotEntry is one traversal root with its ban level and a display name
+// for the finding message.
+type hotEntry struct {
+	node *FuncNode
+	ban  hotBan
+	desc string
+}
+
+// CheckModule walks the call graph from every hot entry point and
+// flags each banned effect once, with the call chain that reaches it.
+func (r hotpathRule) CheckModule(m *Module) []Finding {
+	g := m.Graph()
+	effects := m.Effects()
+	entries := hotpathEntries(m)
+	skip := func(n *FuncNode) bool {
+		return strings.HasSuffix(n.Pkg.Path, "internal/sched")
+	}
+	var out []Finding
+	type seenKey struct {
+		pos  token.Pos
+		kind EffectKind
+		ban  hotBan
+	}
+	seen := make(map[seenKey]bool)
+	for _, entry := range entries {
+		reach := g.ReachableFrom(entry.node, skip)
+		// Deterministic order over the reachable set.
+		nodes := make([]*FuncNode, 0, len(reach))
+		for n := range reach {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+		for _, n := range nodes {
+			fe := effects[n]
+			if fe == nil {
+				continue
+			}
+			for _, e := range fe.Effects {
+				if !entry.ban.banned(e) {
+					continue
+				}
+				key := seenKey{pos: e.Pos, kind: e.Kind, ban: entry.ban}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				chain := strings.Join(reach[n], " → ")
+				out = append(out, Finding{
+					Pos:  n.Pkg.Fset.Position(e.Pos),
+					Rule: r.Name(),
+					Msg: "hot path reachable from " + entry.desc + " has " + e.Kind.String() +
+						" (" + e.Desc + "); chain: " + chain,
+				})
+			}
+		}
 	}
 	return out
 }
 
-// boundFuncLits maps objects to the function literals assigned to them:
-// locals (`body := func(...) {...}`) and struct fields
-// (`s.pass1 = func(...) {...}`, the kernels' once-per-solve bound
-// passes), so a loop body passed by name or by field is checked like an
-// inline one. Reassigned names keep the last literal.
-func boundFuncLits(pkg *Package, file *ast.File) map[types.Object]*ast.FuncLit {
-	bound := map[types.Object]*ast.FuncLit{}
-	ast.Inspect(file, func(n ast.Node) bool {
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Lhs) != len(assign.Rhs) {
-			return true
-		}
-		for i, rhs := range assign.Rhs {
-			lit, ok := rhs.(*ast.FuncLit)
+// kernelMethodBans maps the Kernel hot methods to their ban levels.
+// Init is allowed to allocate by the documented kernel contract (one
+// boxed state + bound pass closures per batch, amortized across the
+// whole window sweep) but must never block; the steady-state methods
+// may do neither.
+var kernelMethodBans = []struct {
+	method string
+	ban    hotBan
+}{
+	{"Init", banBlock},
+	{"Iterate", banAllocBlock},
+	{"Residual", banAllocBlock},
+}
+
+// hotpathEntries discovers the traversal roots: registered kernels'
+// hot methods, plus loop bodies at ParallelFor call sites.
+func hotpathEntries(m *Module) []hotEntry {
+	g := m.Graph()
+	var entries []hotEntry
+	for _, typ := range registeredKernelTypes(m) {
+		tn := typeDisplayName(typ)
+		for _, mb := range kernelMethodBans {
+			obj, _, _ := types.LookupFieldOrMethod(typ, true, nil, mb.method)
+			fn, ok := obj.(*types.Func)
 			if !ok {
 				continue
 			}
-			var obj types.Object
-			switch lhs := assign.Lhs[i].(type) {
-			case *ast.Ident:
-				obj = pkg.Info.Defs[lhs]
-				if obj == nil {
-					obj = pkg.Info.Uses[lhs]
+			if node := g.NodeOf(fn); node != nil {
+				entries = append(entries, hotEntry{node: node, ban: mb.ban, desc: tn + "." + mb.method})
+			}
+		}
+	}
+	entries = append(entries, parallelForEntries(m)...)
+	return entries
+}
+
+// registeredKernelTypes resolves the concrete type of the argument at
+// every core.RegisterKernel call site — the exact set the runtime
+// registry will contain, independent of which types merely implement
+// the Kernel interface.
+func registeredKernelTypes(m *Module) []types.Type {
+	g := m.Graph()
+	var out []types.Type
+	seen := make(map[string]bool)
+	for _, n := range g.Nodes {
+		for _, e := range n.Edges {
+			if !strings.HasSuffix(e.Callee.Name, ".RegisterKernel") {
+				continue
+			}
+			call, ok := e.Site.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			t := n.Pkg.Info.TypeOf(call.Args[0])
+			if t == nil {
+				continue
+			}
+			key := t.String()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// typeDisplayName renders a short pkg.Type name for findings.
+func typeDisplayName(t types.Type) string {
+	if named, ok := deref(t).(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return t.String()
+}
+
+// hotLoopFile classifies files whose loop-dispatch call sites root a
+// transitive entry, and with which ban. Only the per-vertex/per-edge
+// loop files count: internal/core's window-level orchestration
+// (solve.go dispatch closures) also runs on the pool, but at window
+// granularity, where journaling and validation are the entire point —
+// rooting those would ban the engine's own bookkeeping.
+func hotLoopFile(pkgPath, base string) (hotBan, bool) {
+	switch {
+	case strings.HasSuffix(pkgPath, "internal/core"):
+		if strings.HasPrefix(base, "kernel_") || base == "loop.go" {
+			return banAllocBlock, true
+		}
+	case strings.HasSuffix(pkgPath, "internal/streaming"):
+		if base == "runner.go" {
+			return banClassic, true
+		}
+	}
+	return 0, false
+}
+
+// parallelForEntries finds every loop body handed to the scheduler
+// (ParallelFor/ParallelForCtx) or to a kernel forLoop (`loop(...)`,
+// `b.loop(...)`) at call sites in the hot loop files, resolved through
+// the flow analysis so bodies bound to locals or fields count. Under
+// EffortQuick only internal/core sites are rooted.
+func parallelForEntries(m *Module) []hotEntry {
+	g := m.Graph()
+	var entries []hotEntry
+	seen := make(map[*FuncNode]hotBan)
+	for _, n := range g.Nodes {
+		if n.body == nil {
+			continue
+		}
+		pkg := n.Pkg
+		base := pathBase(pkg.Fset.Position(n.Pos()).Filename)
+		ban, ok := hotLoopFile(pkg.Path, base)
+		if !ok {
+			continue
+		}
+		if m.Effort == EffortQuick && !strings.HasSuffix(pkg.Path, "internal/core") {
+			continue
+		}
+		ast.Inspect(n.body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok || !isLoopDispatch(call) || len(call.Args) == 0 {
+				return true
+			}
+			body := call.Args[len(call.Args)-1]
+			for _, target := range g.FuncsOf(pkg, body) {
+				if prev, ok := seen[target]; ok && prev <= ban {
+					continue // already rooted at an equal-or-stricter ban
 				}
-			case *ast.SelectorExpr:
-				obj = pkg.Info.Uses[lhs.Sel]
+				seen[target] = ban
+				entries = append(entries, hotEntry{
+					node: target,
+					ban:  ban,
+					desc: "loop body " + shortName(target.Name),
+				})
 			}
-			if obj != nil {
-				bound[obj] = lit
-			}
-		}
-		return true
-	})
-	return bound
+			return true
+		})
+	}
+	return entries
 }
 
-func (r hotpathRule) checkBody(pkg *Package, body ast.Node, out *[]Finding) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			r.checkCall(pkg, n, out)
-		case *ast.CompositeLit:
-			if _, ok := n.Type.(*ast.MapType); ok {
-				pkg.findingf(out, n, r.Name(), "map literal allocated inside a hot kernel loop")
-			}
-		case *ast.BinaryExpr:
-			if n.Op == token.ADD && isStringExpr(pkg, n.X) {
-				pkg.findingf(out, n, r.Name(), "string concatenation inside a hot kernel loop")
-			}
-		case *ast.AssignStmt:
-			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pkg, n.Lhs[0]) {
-				pkg.findingf(out, n, r.Name(), "string concatenation inside a hot kernel loop")
-			}
-		}
-		return true
-	})
-}
-
-func (r hotpathRule) checkCall(pkg *Package, call *ast.CallExpr, out *[]Finding) {
-	switch fun := call.Fun.(type) {
+// isLoopDispatch reports whether the call hands a body to the
+// scheduler or a kernel forLoop.
+func isLoopDispatch(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		switch fun.Name {
-		case "append":
-			if isBuiltin(pkg, fun) {
-				pkg.findingf(out, call, r.Name(),
-					"append inside a hot kernel loop (preallocate the slice outside the loop)")
-			}
-		case "print", "println":
-			if isBuiltin(pkg, fun) {
-				pkg.findingf(out, call, r.Name(), "%s call inside a hot kernel loop", fun.Name)
-			}
-		}
+		return fun.Name == "loop"
 	case *ast.SelectorExpr:
-		if pkgName := importedPackage(pkg, fun); pkgName == "fmt" || pkgName == "log" {
-			pkg.findingf(out, call, r.Name(),
-				"%s.%s call inside a hot kernel loop (format outside, or gate behind the trace writer)",
-				pkgName, fun.Sel.Name)
-		} else if _, ok := fun.X.(*ast.Ident); ok && pkgName == "" && callMakesMap(pkg, call) {
-			pkg.findingf(out, call, r.Name(), "map allocation inside a hot kernel loop")
+		switch fun.Sel.Name {
+		case "ParallelFor", "ParallelForCtx", "loop":
+			return true
 		}
-	}
-	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltin(pkg, id) {
-		switch {
-		case callMakesMap(pkg, call):
-			pkg.findingf(out, call, r.Name(), "map allocation inside a hot kernel loop")
-		case strings.HasSuffix(pkg.Path, "internal/core"):
-			// The core kernels have a scratch arena precisely so their
-			// loop bodies never allocate; any make() here regresses the
-			// allocation-free steady state.
-			pkg.findingf(out, call, r.Name(),
-				"make() inside a hot kernel loop (draw the buffer from the per-worker scratch arena)")
-		}
-	}
-}
-
-// callMakesMap reports whether call is make(map[...]...).
-func callMakesMap(pkg *Package, call *ast.CallExpr) bool {
-	if len(call.Args) == 0 {
-		return false
-	}
-	if _, ok := call.Args[0].(*ast.MapType); ok {
-		return true
-	}
-	if tv, ok := pkg.Info.Types[call.Args[0]]; ok && tv.IsType() {
-		_, isMap := tv.Type.Underlying().(*types.Map)
-		return isMap
 	}
 	return false
 }
 
-// isBuiltin reports whether id resolves to a Go builtin (not shadowed).
-func isBuiltin(pkg *Package, id *ast.Ident) bool {
-	obj := pkg.Info.Uses[id]
-	if obj == nil {
-		return true // no type info: assume the spelling means the builtin
+// pathBase is filepath.Base without the import.
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
 	}
-	_, ok := obj.(*types.Builtin)
-	return ok
+	return p
 }
 
-// importedPackage returns the imported package name sel.X refers to
-// ("fmt", "log", ...) or "" when sel is not a package selector.
-func importedPackage(pkg *Package, sel *ast.SelectorExpr) string {
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return ""
+// HotpathEntryNames lists the rule's discovered traversal roots (the
+// entry descriptions, sorted). The repo gate's registry-coverage test
+// uses this to prove every kernel in core's runtime registry is
+// actually rooted here.
+func HotpathEntryNames(m *Module) []string {
+	entries := hotpathEntries(m)
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.desc)
 	}
-	if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
-		return pn.Imported().Path()
-	}
-	return ""
-}
-
-// isStringExpr reports whether e's type is (an alias of) string.
-func isStringExpr(pkg *Package, e ast.Expr) bool {
-	tv, ok := pkg.Info.Types[e]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	b, ok := tv.Type.Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsString != 0
+	sort.Strings(names)
+	return names
 }

@@ -1,0 +1,536 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// analyzeFixture runs the named rules over one fixture package and
+// returns the full report (findings, stale suppressions, timings).
+func analyzeFixture(t *testing.T, rules string, pkg *Package) *Report {
+	t.Helper()
+	as, err := ByName(rules)
+	if err != nil {
+		t.Fatalf("ByName(%q): %v", rules, err)
+	}
+	return Analyze(NewModule([]*Package{pkg}), as)
+}
+
+func TestAtomicmixRule(t *testing.T) {
+	// A field touched by atomic ops in one function and by plain
+	// reads/writes in another is a torn-access bug waiting to happen.
+	mixed := `package obs
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+func (c *counter) bump() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 { return c.n }
+`
+	pkg := loadFixture(t, "pmpr/internal/obs", "counter.go", mixed)
+	fs := runRule(t, "atomicmix", pkg)
+	if len(fs) != 1 {
+		t.Fatalf("mixed access: want 1 finding, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "plain") || !strings.Contains(fs[0].Msg, "n") {
+		t.Errorf("finding %q should name the plainly-accessed field", fs[0].Msg)
+	}
+
+	// All-atomic access is the fix and must be clean.
+	clean := `package obs
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+func (c *counter) bump() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 { return atomic.LoadInt64(&c.n) }
+`
+	pkg = loadFixture(t, "pmpr/internal/obs", "counter_clean.go", clean)
+	if fs := runRule(t, "atomicmix", pkg); len(fs) != 0 {
+		t.Errorf("all-atomic access: want 0 findings, got %v", fs)
+	}
+
+	// Plain writes inside a constructor are pre-publication and exempt.
+	ctor := `package obs
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+func newCounter(seed int64) *counter {
+	c := &counter{}
+	c.n = seed
+	return c
+}
+
+func (c *counter) bump() { atomic.AddInt64(&c.n, 1) }
+`
+	pkg = loadFixture(t, "pmpr/internal/obs", "counter_ctor.go", ctor)
+	if fs := runRule(t, "atomicmix", pkg); len(fs) != 0 {
+		t.Errorf("constructor write: want 0 findings, got %v", fs)
+	}
+
+	// Copying a typed atomic by value silently drops the atomicity; the
+	// vet-style copylock check misses struct-field reads like this.
+	copied := `package obs
+
+import "sync/atomic"
+
+type gauge struct{ v atomic.Int64 }
+
+func snap(g *gauge) atomic.Int64 { return g.v }
+`
+	pkg = loadFixture(t, "pmpr/internal/obs", "gauge.go", copied)
+	fs = runRule(t, "atomicmix", pkg)
+	if len(fs) != 1 {
+		t.Fatalf("typed atomic copy: want 1 finding, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "copied or assigned by value") {
+		t.Errorf("finding %q should explain the by-value copy", fs[0].Msg)
+	}
+
+	// Using the typed atomic through its methods is clean.
+	typedOK := `package obs
+
+import "sync/atomic"
+
+type gauge struct{ v atomic.Int64 }
+
+func (g *gauge) set(x int64) { g.v.Store(x) }
+
+func (g *gauge) get() int64 { return g.v.Load() }
+`
+	pkg = loadFixture(t, "pmpr/internal/obs", "gauge_clean.go", typedOK)
+	if fs := runRule(t, "atomicmix", pkg); len(fs) != 0 {
+		t.Errorf("typed atomic via methods: want 0 findings, got %v", fs)
+	}
+}
+
+func TestGoleakRule(t *testing.T) {
+	// One undisciplined goroutine among four accepted shutdown shapes:
+	// ctx.Done select, WaitGroup.Done, single-send handoff, and
+	// close-joined range. Only the spinner should be flagged.
+	src := `package obs
+
+import (
+	"context"
+	"sync"
+)
+
+func spin() {
+	go func() {
+		for {
+		}
+	}()
+}
+
+func watchCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func joinWG(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func handoff(errc chan error, work func() error) {
+	go func() { errc <- work() }()
+}
+
+func drain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/obs", "leak.go", src)
+	fs := runRule(t, "goleak", pkg)
+	if len(fs) != 1 {
+		t.Fatalf("want exactly the undisciplined goroutine flagged, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "no visible exit discipline") {
+		t.Errorf("finding %q should state the missing discipline", fs[0].Msg)
+	}
+	if fs[0].Pos.Line != 9 {
+		t.Errorf("finding should point at the spin goroutine (line 9), got line %d", fs[0].Pos.Line)
+	}
+}
+
+func TestLockbalanceRule(t *testing.T) {
+	// Early return while the mutex is held: the classic leak.
+	leak := `package obs
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *store) get(fail bool) int {
+	s.mu.Lock()
+	if fail {
+		return -1
+	}
+	s.mu.Unlock()
+	return s.n
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/obs", "store.go", leak)
+	fs := runRule(t, "lockbalance", pkg)
+	if len(fs) != 1 {
+		t.Fatalf("early-return leak: want 1 finding, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "still held") {
+		t.Errorf("finding %q should say the lock is still held", fs[0].Msg)
+	}
+	if fs[0].Pos.Line != 13 {
+		t.Errorf("finding should point at the leaking return (line 13), got line %d", fs[0].Pos.Line)
+	}
+
+	// The three balanced disciplines the repo actually uses: deferred
+	// unlock, branch-local unlock before every return, and the worker
+	// lock/unlock cycle inside an infinite loop.
+	balanced := `package obs
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *store) deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *store) branchy(fail bool) int {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return -1
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+func (s *store) worker(stop *bool) {
+	for {
+		s.mu.Lock()
+		if *stop {
+			s.mu.Unlock()
+			return
+		}
+		s.n++
+		s.mu.Unlock()
+	}
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/obs", "store_ok.go", balanced)
+	if fs := runRule(t, "lockbalance", pkg); len(fs) != 0 {
+		t.Errorf("balanced disciplines: want 0 findings, got %v", fs)
+	}
+}
+
+func TestEventexhaustRule(t *testing.T) {
+	// A switch over EventType with no default must cover every
+	// constant; EvC is missing here.
+	missing := `package obs
+
+type EventType uint8
+
+const (
+	EvA EventType = iota
+	EvB
+	EvC
+)
+
+func name(t EventType) string {
+	switch t {
+	case EvA:
+		return "a"
+	case EvB:
+		return "b"
+	}
+	return "?"
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/obs", "events.go", missing)
+	fs := runRule(t, "eventexhaust", pkg)
+	if len(fs) != 1 {
+		t.Fatalf("missing case: want 1 finding, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "EvC") {
+		t.Errorf("finding %q should name the missing constant", fs[0].Msg)
+	}
+
+	// A default clause is an explicit decision and exempts the switch.
+	withDefault := `package obs
+
+type EventType uint8
+
+const (
+	EvA EventType = iota
+	EvB
+	EvC
+)
+
+func name(t EventType) string {
+	switch t {
+	case EvA:
+		return "a"
+	default:
+		return "?"
+	}
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/obs", "events_default.go", withDefault)
+	if fs := runRule(t, "eventexhaust", pkg); len(fs) != 0 {
+		t.Errorf("default clause: want 0 findings, got %v", fs)
+	}
+
+	// Map literals keyed by EventType (the pmtop required-fields table)
+	// need an entry per constant.
+	mapMissing := `package obs
+
+type EventType uint8
+
+const (
+	EvA EventType = iota
+	EvB
+	EvC
+)
+
+var names = map[EventType]string{
+	EvA: "a",
+	EvB: "b",
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/obs", "events_map.go", mapMissing)
+	fs = runRule(t, "eventexhaust", pkg)
+	if len(fs) != 1 {
+		t.Fatalf("missing map key: want 1 finding, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "EvC") {
+		t.Errorf("finding %q should name the missing key", fs[0].Msg)
+	}
+
+	// Complete coverage in both shapes is clean.
+	complete := `package obs
+
+type EventType uint8
+
+const (
+	EvA EventType = iota
+	EvB
+	EvC
+)
+
+var names = map[EventType]string{
+	EvA: "a",
+	EvB: "b",
+	EvC: "c",
+}
+
+func name(t EventType) string {
+	switch t {
+	case EvA, EvB:
+		return "ab"
+	case EvC:
+		return "c"
+	}
+	return "?"
+}
+`
+	pkg = loadFixture(t, "pmpr/internal/obs", "events_full.go", complete)
+	if fs := runRule(t, "eventexhaust", pkg); len(fs) != 0 {
+		t.Errorf("complete coverage: want 0 findings, got %v", fs)
+	}
+}
+
+func TestStaleIgnoreAudit(t *testing.T) {
+	// A directive that no longer suppresses anything is reported so
+	// suppressions cannot outlive their finding.
+	stale := `package fake
+
+func ok() int { return 1 } //pmvet:ignore panic -- nothing panics here anymore
+`
+	pkg := loadFixture(t, "pmpr/internal/fake", "stale.go", stale)
+	rep := analyzeFixture(t, "panic", pkg)
+	if len(rep.Findings) != 0 {
+		t.Errorf("want 0 findings, got %v", rep.Findings)
+	}
+	if len(rep.Stale) != 1 {
+		t.Fatalf("want 1 stale directive, got %v", rep.Stale)
+	}
+	if rep.Stale[0].Rule != StaleRule {
+		t.Errorf("stale finding rule = %q, want %q", rep.Stale[0].Rule, StaleRule)
+	}
+
+	// Running a rule subset must not flag suppressions that belong to
+	// rules outside the subset — they had no chance to be used.
+	rep = analyzeFixture(t, "floateq", pkg)
+	if len(rep.Stale) != 0 {
+		t.Errorf("subset run: want 0 stale directives, got %v", rep.Stale)
+	}
+
+	// A directive that actually suppresses a finding is not stale.
+	used := `package fake
+
+func boom() { panic("x") } //pmvet:ignore panic -- fixture rationale
+`
+	pkg = loadFixture(t, "pmpr/internal/fake", "used.go", used)
+	rep = analyzeFixture(t, "panic", pkg)
+	if len(rep.Findings) != 0 || len(rep.Stale) != 0 {
+		t.Errorf("used directive: want no findings and no stale, got %v / %v", rep.Findings, rep.Stale)
+	}
+}
+
+func TestHotpathRuleTransitiveHelper(t *testing.T) {
+	// The pre-callgraph rule only looked inside the loop-body literal,
+	// so moving the append one call away defeated it. The transitive
+	// rule follows the edge and reports the chain.
+	src := `package core
+
+func loop(n int, body func(lo, hi int)) { body(0, n) }
+
+func gather(dst []int, x int) []int { return append(dst, x) }
+
+func kernel(xs []int) {
+	var out []int
+	loop(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out = gather(out, xs[i])
+		}
+	})
+	_ = out
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/core", "kernel_helper_fixture.go", src)
+	fs := runRule(t, "hotpath", pkg)
+	if len(fs) != 1 {
+		t.Fatalf("append behind a helper: want 1 finding, got %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "gather") {
+		t.Errorf("finding %q should show the chain through the helper", fs[0].Msg)
+	}
+	if fs[0].Pos.Line != 5 {
+		t.Errorf("finding should point at the append inside the helper (line 5), got line %d", fs[0].Pos.Line)
+	}
+}
+
+// registeredFixture defines a miniature RegisterKernel world: Init may
+// allocate but not block, Iterate/Residual may do neither.
+const registeredFixture = `package core
+
+type Kernel interface {
+	Init(ch chan int)
+	Iterate()
+	Residual() float64
+}
+
+func RegisterKernel(k Kernel) {}
+
+type fixKernel struct{ buf []float64 }
+
+func (k fixKernel) Init(ch chan int) {
+	k.buf = make([]float64, 8)
+	<-ch
+}
+
+func (k fixKernel) Iterate() {
+	k.buf = append(k.buf, 1)
+}
+
+func (k fixKernel) Residual() float64 { return 0 }
+
+func register() { RegisterKernel(fixKernel{}) }
+`
+
+func TestHotpathRuleRegisteredKernel(t *testing.T) {
+	pkg := loadFixture(t, "pmpr/internal/core", "kernel_reg_fixture.go", registeredFixture)
+	fs := runRule(t, "hotpath", pkg)
+	if len(fs) != 2 {
+		t.Fatalf("want 2 findings (Init block, Iterate alloc), got %v", fs)
+	}
+	var sawInitBlock, sawIterateAlloc bool
+	for _, f := range fs {
+		switch {
+		case strings.Contains(f.Msg, "fixKernel.Init") && strings.Contains(f.Msg, "block/chan"):
+			sawInitBlock = true
+		case strings.Contains(f.Msg, "fixKernel.Iterate") && strings.Contains(f.Msg, "alloc/append"):
+			sawIterateAlloc = true
+		case strings.Contains(f.Msg, "fixKernel.Init") && strings.Contains(f.Msg, "alloc/"):
+			t.Errorf("Init is allowed to allocate by the kernel contract, got %v", f)
+		default:
+			t.Errorf("unexpected finding %v", f)
+		}
+	}
+	if !sawInitBlock || !sawIterateAlloc {
+		t.Errorf("want Init-block and Iterate-alloc findings, got %v", fs)
+	}
+}
+
+func TestHotpathEntryNames(t *testing.T) {
+	pkg := loadFixture(t, "pmpr/internal/core", "kernel_reg2_fixture.go", registeredFixture)
+	names := HotpathEntryNames(NewModule([]*Package{pkg}))
+	for _, want := range []string{"core.fixKernel.Init", "core.fixKernel.Iterate", "core.fixKernel.Residual"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("entry %q missing from HotpathEntryNames %v", want, names)
+		}
+	}
+}
+
+func TestEffortQuickScopesParallelForEntries(t *testing.T) {
+	// Under -effort quick, loop bodies outside internal/core are not
+	// rooted; under full they are. Quick keeps pre-commit fast without
+	// weakening the kernel guarantees, which are core-side.
+	src := `package streaming
+
+type pool struct{}
+
+func (pool) ParallelFor(n, grain int, body func(lo, hi int)) { body(0, n) }
+
+func drive(p pool, xs []int) {
+	var log []int
+	p.ParallelFor(len(xs), 1, func(lo, hi int) {
+		log = append(log, 1)
+	})
+	_ = log
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/streaming", "runner.go", src)
+	as, err := ByName("hotpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := NewModule([]*Package{pkg})
+	if fs := Analyze(full, as).Findings; len(fs) != 1 {
+		t.Errorf("effort=full: want 1 finding, got %v", fs)
+	}
+
+	quick := NewModule([]*Package{pkg})
+	quick.Effort = EffortQuick
+	if fs := Analyze(quick, as).Findings; len(fs) != 0 {
+		t.Errorf("effort=quick: want 0 findings outside core, got %v", fs)
+	}
+}
