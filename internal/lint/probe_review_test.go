@@ -1,0 +1,58 @@
+package lint
+
+import "testing"
+
+// Probe 1: break inside a switch nested in a loop — Go semantics: break
+// exits the switch, not the loop. The lock is balanced on every real path.
+func TestProbeLockbalanceSwitchBreakInLoop(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+type s struct{ mu sync.Mutex }
+
+func (x *s) f(vals []int) {
+	for _, v := range vals {
+		x.mu.Lock()
+		switch v {
+		case 1:
+			break
+		case 2:
+		}
+		x.mu.Unlock()
+	}
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/p", "p.go", src)
+	fs := runRule(t, "lockbalance", pkg)
+	if len(fs) != 0 {
+		t.Errorf("balanced lock with switch-break: want 0 findings, got %v", fs)
+	}
+}
+
+// Probe 2: two RegisterKernel calls in ONE function — does edge dedup
+// drop the second call site (and so the second kernel type)?
+func TestProbeTwoRegistrationsOneFunc(t *testing.T) {
+	src := `package core
+
+type Kernel interface{ Iterate() }
+
+func RegisterKernel(k Kernel) {}
+
+type a struct{}
+func (a) Iterate() {}
+type b struct{}
+func (b) Iterate() {}
+
+func init() {
+	RegisterKernel(a{})
+	RegisterKernel(b{})
+}
+`
+	pkg := loadFixture(t, "pmpr/internal/core", "core.go", src)
+	m := NewModule([]*Package{pkg})
+	kts := registeredKernelTypes(m)
+	if len(kts) != 2 {
+		t.Errorf("want both registered kernel types discovered, got %d: %v", len(kts), kts)
+	}
+}
