@@ -10,6 +10,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -321,6 +322,221 @@ func TestCLILiveObservability(t *testing.T) {
 	vout := runTool(t, "./cmd/pmtop", "-validate", journal)
 	if !strings.Contains(vout, "events ok") || !strings.Contains(vout, "window_done=12") {
 		t.Fatalf("pmtop -validate output:\n%s", vout)
+	}
+}
+
+// TestCLIServe drives the serving pipeline end to end: generate a
+// dataset, solve it with pmrank exporting a .pmrs series, then run the
+// real pmserve binary on it and query every /v1 endpoint over HTTP —
+// including the cache-provenance header and the error statuses — plus
+// the composed obs endpoints on the same address. A corrupt .pmrs must
+// be refused at startup with a structured error, never a panic.
+func TestCLIServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	ev := filepath.Join(tmp, "enron.ev")
+	pmrs := filepath.Join(tmp, "ranks.pmrs")
+	runTool(t, "./cmd/pmgen", "-dataset", "enron", "-scale", "0.02", "-seed", "3", "-o", ev, "-format", "binary")
+	runTool(t, "./cmd/pmrank", "-in", ev, "-delta-days", "365", "-slide", "172800",
+		"-max-windows", "8", "-out", pmrs)
+
+	bin := filepath.Join(tmp, "pmserve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/pmserve").CombinedOutput(); err != nil {
+		t.Fatalf("go build pmserve: %v\n%s", err, out)
+	}
+
+	// A corrupt series is refused with a diagnostic, not a panic.
+	bad := filepath.Join(tmp, "bad.pmrs")
+	if err := os.WriteFile(bad, []byte("PMRS\x01\x00\x00\x00garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "-load", bad, "-addr", "127.0.0.1:0").CombinedOutput(); err == nil {
+		t.Fatalf("pmserve accepted a corrupt series:\n%s", out)
+	} else if strings.Contains(string(out), "panic") || !strings.Contains(string(out), "results:") {
+		t.Fatalf("corrupt series should fail with a structured results error:\n%s", out)
+	}
+
+	cmd := exec.Command(bin, "-load", pmrs, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start pmserve: %v", err)
+	}
+	killed := time.AfterFunc(90*time.Second, func() { cmd.Process.Kill() })
+	defer killed.Stop()
+	defer cmd.Process.Kill()
+
+	addrRe := regexp.MustCompile(`serving on http://([^/]+)/`)
+	addrCh := make(chan string, 1)
+	outDone := make(chan string, 1)
+	go func() {
+		var all strings.Builder
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			all.WriteString(line)
+			all.WriteByte('\n')
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+		outDone <- all.String()
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case out := <-outDone:
+		t.Fatalf("pmserve exited before serving:\n%s", out)
+	case <-time.After(60 * time.Second):
+		t.Fatal("timed out waiting for the pmserve address")
+	}
+	base := "http://" + addr
+
+	// The store publishes right after the address line; poll briefly
+	// until /v1/windows stops answering 503.
+	var windowsDoc struct {
+		Spec struct {
+			Count int `json:"count"`
+		} `json:"spec"`
+		NumVertices int32                    `json:"num_vertices"`
+		Windows     []map[string]interface{} `json:"windows"`
+		Cache       map[string]interface{}   `json:"cache"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/windows")
+		if err != nil {
+			t.Fatalf("GET /v1/windows: %v", err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			err = json.NewDecoder(resp.Body).Decode(&windowsDoc)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("decode /v1/windows: %v", err)
+			}
+			break
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable || time.Now().After(deadline) {
+			t.Fatalf("GET /v1/windows: %s", resp.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if windowsDoc.Spec.Count != 8 || len(windowsDoc.Windows) != 8 {
+		t.Fatalf("/v1/windows reports %d/%d windows, want 8", windowsDoc.Spec.Count, len(windowsDoc.Windows))
+	}
+
+	getJSON := func(path string, wantCache string) map[string]interface{} {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		if got := resp.Header.Get("X-Cache"); wantCache != "" && got != wantCache {
+			t.Fatalf("GET %s: X-Cache = %q, want %q", path, got, wantCache)
+		}
+		var m map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		return m
+	}
+
+	// topk: first query misses, the identical query hits the cache.
+	topk := getJSON("/v1/topk?window=2&k=3", "miss")
+	ranks := topk["ranks"].([]interface{})
+	if len(ranks) != 3 {
+		t.Fatalf("topk returned %d ranks, want 3", len(ranks))
+	}
+	prev := 1.1
+	for _, r := range ranks {
+		rank := r.(map[string]interface{})["rank"].(float64)
+		if rank <= 0 || rank > prev {
+			t.Fatalf("topk ranks not positive-descending: %v", ranks)
+		}
+		prev = rank
+	}
+	getJSON("/v1/topk?window=2&k=3", "hit")
+	// A different spelling of the same query still hits: the key is
+	// canonical, not the raw query string.
+	getJSON("/v1/topk?k=3&window=2", "hit")
+
+	traj := getJSON("/v1/vertex/0/trajectory", "miss")
+	if int(traj["windows"].(float64)) != 8 || len(traj["ranks"].([]interface{})) != 8 {
+		t.Fatalf("trajectory shape wrong: %v", traj)
+	}
+
+	movers := getJSON("/v1/movers?from=0&to=7&k=5", "miss")
+	if len(movers["movers"].([]interface{})) == 0 {
+		t.Fatal("movers returned no entries")
+	}
+
+	// Error statuses are structured JSON, not panics.
+	for path, want := range map[string]int{
+		"/v1/topk":                     http.StatusBadRequest,
+		"/v1/topk?window=99":           http.StatusNotFound,
+		"/v1/vertex/999999/trajectory": http.StatusNotFound,
+		"/v1/movers?from=0&to=xyz":     http.StatusBadRequest,
+		"/no/such/route":               http.StatusNotFound,
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s = %s, want %d", path, resp.Status, want)
+		}
+	}
+
+	// The obs endpoints share the mux: /status reports serving, /metrics
+	// exports the serve gauges, and / lists the endpoints.
+	resp, err := http.Get(base + "/status")
+	if err != nil {
+		t.Fatalf("GET /status: %v", err)
+	}
+	var st obs.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode /status: %v", err)
+	}
+	if st.Phase != "serving" || st.WindowsDone != 8 {
+		t.Fatalf("/status = %+v, want serving 8/8", st)
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var metrics strings.Builder
+	if _, err := io.Copy(&metrics, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(metrics.String(), "pmpr_serve_cache_hits_total") ||
+		!strings.Contains(metrics.String(), "pmpr_serve_store_windows 8") {
+		t.Fatalf("/metrics missing serve gauges:\n%s", metrics.String())
+	}
+	index := getJSON("/", "")
+	if index["service"] != "pmserve" {
+		t.Fatalf("index = %v", index)
+	}
+
+	cmd.Process.Signal(os.Interrupt)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("pmserve exit: %v\n%s", err, <-outDone)
 	}
 }
 

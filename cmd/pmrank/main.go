@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"pmpr/internal/checkpoint"
+	"pmpr/internal/cliutil"
 	"pmpr/internal/closeness"
 	"pmpr/internal/core"
 	"pmpr/internal/events"
@@ -60,17 +61,9 @@ func main() {
 		deltaDays = flag.Float64("delta-days", 90, "window size delta in days")
 		slide     = flag.Int64("slide", 86400, "sliding offset sw in seconds")
 		maxWin    = flag.Int("max-windows", 0, "cap the number of windows (0 = all)")
-		kernel    = flag.String("kernel", "spmm", "kernel: spmm, spmv or spmv-blocked")
-		mode      = flag.String("mode", "nested", "parallelism: nested, app or window")
-		part      = flag.String("partitioner", "auto", "partitioner: auto, simple or static")
-		mw        = flag.Int("mw", 6, "number of multi-window graphs")
-		veclen    = flag.Int("veclen", 8, "SpMM vector length")
-		grain     = flag.Int("grain", 2, "scheduler grain size")
-		noPartial = flag.Bool("no-partial", false, "disable partial initialization")
-		directed  = flag.Bool("directed", false, "treat events as directed (default: symmetrize)")
+		ef        = cliutil.RegisterEngineFlags(flag.CommandLine)
 		top       = flag.Int("top", 5, "top-k vertices to print per reported window")
 		every     = flag.Int("every", 0, "report every n-th window (0 = auto)")
-		workers   = flag.Int("workers", 0, "pool size (0 = GOMAXPROCS)")
 		model     = flag.String("model", "postmortem", "analysis: postmortem, offline, streaming, components, kcore or closeness")
 		out       = flag.String("out", "", "write the rank series to this file (postmortem model only)")
 
@@ -107,11 +100,11 @@ func main() {
 	}
 
 	loadStart := time.Now()
-	l, err := readLog(*in)
+	l, err := cliutil.ReadLog(*in)
 	if err != nil {
 		fatal(err)
 	}
-	if !*directed {
+	if !ef.Directed {
 		l = l.Symmetrize()
 	}
 	loadSeconds := time.Since(loadStart).Seconds()
@@ -125,7 +118,7 @@ func main() {
 	fmt.Printf("%d events over %d vertices; %d windows (delta=%.4gd, sw=%ds)\n",
 		l.Len(), l.NumVertices(), spec.Count, *deltaDays, *slide)
 
-	pool := sched.NewPool(*workers)
+	pool := sched.NewPool(ef.Workers)
 	defer pool.Close()
 	observing := *metricsAddr != "" || *traceOut != "" || *reportOut != ""
 	if observing {
@@ -241,14 +234,7 @@ func main() {
 	switch *model {
 	case "postmortem":
 		cfg := core.DefaultConfig()
-		cfg.Kernel = parseKernel(*kernel)
-		cfg.Mode = parseMode(*mode)
-		cfg.Partitioner = parsePartitioner(*part)
-		cfg.NumMultiWindows = *mw
-		cfg.VectorLen = *veclen
-		cfg.Grain = *grain
-		cfg.PartialInit = !*noPartial
-		cfg.Directed = *directed
+		ef.ApplyTo(&cfg)
 		cfg.DiscardRanks = *discardRanks
 		cfg.Journal = journal
 		eng, err := core.NewEngine(l, spec, cfg, pool)
@@ -370,7 +356,7 @@ func main() {
 		fmt.Printf("offline: %d windows, %d total iterations, %.3fs\n", len(stats), total, elapsed.Seconds())
 	case "streaming":
 		cfg := streaming.DefaultConfig()
-		cfg.Directed = *directed
+		cfg.Directed = ef.Directed
 		r, err := streaming.NewRunner(l, spec, cfg, pool)
 		if err != nil {
 			fatal(err)
@@ -390,10 +376,10 @@ func main() {
 			len(stats), total, ins, rem, elapsed.Seconds())
 	case "components":
 		cfg := wcc.DefaultConfig()
-		cfg.Partitioner = parsePartitioner(*part)
-		cfg.Grain = *grain
-		cfg.NumMultiWindows = *mw
-		cfg.Directed = *directed
+		cfg.Partitioner = ef.SchedPartitioner()
+		cfg.Grain = ef.Grain
+		cfg.NumMultiWindows = ef.MW
+		cfg.Directed = ef.Directed
 		eng, err := wcc.NewEngine(l, spec, cfg, pool)
 		if err != nil {
 			fatal(err)
@@ -411,10 +397,10 @@ func main() {
 		fmt.Printf("components: %d windows, %.3fs\n", s.Len(), elapsed.Seconds())
 	case "kcore":
 		cfg := kcore.DefaultConfig()
-		cfg.Partitioner = parsePartitioner(*part)
-		cfg.Grain = *grain
-		cfg.NumMultiWindows = *mw
-		cfg.Directed = *directed
+		cfg.Partitioner = ef.SchedPartitioner()
+		cfg.Grain = ef.Grain
+		cfg.NumMultiWindows = ef.MW
+		cfg.Directed = ef.Directed
 		eng, err := kcore.NewEngine(l, spec, cfg, pool)
 		if err != nil {
 			fatal(err)
@@ -432,10 +418,10 @@ func main() {
 		fmt.Printf("kcore: %d windows, %.3fs\n", s.Len(), elapsed.Seconds())
 	case "closeness":
 		cfg := closeness.DefaultConfig()
-		cfg.Partitioner = parsePartitioner(*part)
-		cfg.Grain = *grain
-		cfg.NumMultiWindows = *mw
-		cfg.Directed = *directed
+		cfg.Partitioner = ef.SchedPartitioner()
+		cfg.Grain = ef.Grain
+		cfg.NumMultiWindows = ef.MW
+		cfg.Directed = ef.Directed
 		cfg.SampleSources = 16
 		eng, err := closeness.NewEngine(l, spec, cfg, pool)
 		if err != nil {
@@ -455,62 +441,6 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "pmrank: unknown model %q\n", *model)
 		os.Exit(2)
-	}
-}
-
-func readLog(path string) (*events.Log, error) {
-	f := os.Stdin
-	if path != "-" {
-		var err error
-		f, err = os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		//pmvet:ignore closecheck -- read-only input; decode errors already surface via the reader
-		defer f.Close()
-	}
-	// Sniff the magic to pick the decoder.
-	head := make([]byte, 4)
-	n, _ := f.Read(head)
-	if _, err := f.Seek(0, 0); err != nil && path == "-" {
-		return nil, fmt.Errorf("pmrank: stdin must be seekable; pipe to a file first")
-	}
-	if n == 4 && string(head) == "PMEV" {
-		return events.ReadBinary(f)
-	}
-	return events.ReadText(f)
-}
-
-func parseKernel(s string) core.KernelID {
-	switch s {
-	case "spmv":
-		return core.SpMV
-	case "spmv-blocked":
-		return core.SpMVBlocked
-	default:
-		return core.SpMM
-	}
-}
-
-func parseMode(s string) core.ParallelMode {
-	switch s {
-	case "app":
-		return core.AppLevel
-	case "window":
-		return core.WindowLevel
-	default:
-		return core.Nested
-	}
-}
-
-func parsePartitioner(s string) sched.Partitioner {
-	switch s {
-	case "simple":
-		return sched.Simple
-	case "static":
-		return sched.Static
-	default:
-		return sched.Auto
 	}
 }
 

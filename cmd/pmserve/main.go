@@ -1,0 +1,261 @@
+// Command pmserve is the rank-serving daemon: it loads a .pmrs rank
+// series (or computes one in-process) into an immutable, concurrently
+// shared store and answers rank queries over HTTP/JSON.
+//
+// Usage:
+//
+//	pmserve -load ranks.pmrs [-addr 127.0.0.1:8097] [-cache 4096] [-max-k 1000]
+//	pmserve -solve -in events.ev -delta-days 90 -slide 86400 \
+//	        [-kernel spmm|spmv] [-mode nested|app|window] [engine flags...]
+//
+// Query endpoints (all GET, all JSON):
+//
+//	/v1/topk?window=W&k=K          top-k vertices of one window
+//	/v1/vertex/{id}/trajectory     a vertex's rank across all windows
+//	/v1/movers?from=A&to=B&k=K     largest rank shifts between windows
+//	/v1/windows                    spec, per-window status, cache stats
+//
+// Responses are cached in an LRU keyed by the canonical query (the
+// X-Cache header reports hit/miss/coalesced) and identical concurrent
+// queries are coalesced into one computation. The endpoints share the
+// observability mux, so /metrics, /debug/pprof/, /status and /events
+// are served on the same address; with -solve the daemon comes up
+// immediately (queries answer 503 until the engine finishes) and the
+// run journal streams window_done frames over /events while it solves.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"pmpr/internal/cliutil"
+	"pmpr/internal/core"
+	"pmpr/internal/events"
+	"pmpr/internal/gen"
+	"pmpr/internal/obs"
+	"pmpr/internal/results"
+	"pmpr/internal/sched"
+	"pmpr/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8097", "serve HTTP on this address")
+		load      = flag.String("load", "", "serve a rank series from this .pmrs file")
+		solve     = flag.Bool("solve", false, "run the postmortem engine in-process on -in and serve its result")
+		in        = flag.String("in", "", "input event file for -solve (text or binary; '-' = stdin)")
+		deltaDays = flag.Float64("delta-days", 90, "window size delta in days (-solve)")
+		slide     = flag.Int64("slide", 86400, "sliding offset sw in seconds (-solve)")
+		maxWin    = flag.Int("max-windows", 0, "cap the number of windows (0 = all; -solve)")
+		ef        = cliutil.RegisterEngineFlags(flag.CommandLine)
+		cacheN    = flag.Int("cache", 0, "response cache entries (0 = default)")
+		maxK      = flag.Int("max-k", serve.DefaultMaxK, "largest k accepted by topk/movers queries")
+		version   = flag.Bool("version", false, "print build info and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("pmserve", obs.CollectBuildInfo())
+		return
+	}
+	if (*load == "") == !*solve {
+		fmt.Fprintln(os.Stderr, "pmserve: exactly one of -load or -solve is required")
+		os.Exit(2)
+	}
+	if *solve && *in == "" {
+		fmt.Fprintln(os.Stderr, "pmserve: -solve requires -in")
+		os.Exit(2)
+	}
+
+	svc := serve.NewService(*cacheN)
+	svc.MaxK = *maxK
+	journal := obs.NewJournal(0)
+
+	// liveEng is set once the -solve engine exists; before that (and in
+	// -load mode) /status reports the serving snapshot alone.
+	var liveEng atomic.Pointer[core.Engine]
+	statusFn := func() obs.Status {
+		st := obs.Status{Phase: "loading", LastSeq: journal.LastSeq()}
+		if eng := liveEng.Load(); eng != nil {
+			p := eng.Progress()
+			st.Phase = p.Phase
+			st.WindowsTotal = p.WindowsTotal
+			st.WindowsDone = p.WindowsDone
+			st.WindowsQuarantined = int(p.Quarantined)
+			st.Retried = p.Retried
+			st.Degraded = p.Degraded
+			st.Resumed = p.Resumed
+			h := eng.Histograms()
+			st.Histograms = map[string]obs.HistogramSummary{
+				"window_wall_seconds": h.WindowWall.Summary(),
+				"window_iterations":   h.Iterations.Summary(),
+				"window_residual":     h.Residual.Summary(),
+			}
+		}
+		if rs := svc.Store(); rs != nil {
+			st.Phase = "serving"
+			st.WindowsTotal = rs.NumWindows()
+			st.WindowsDone = rs.NumWindows()
+		}
+		return st
+	}
+
+	reg := obs.NewRegistry()
+	reg.Gauge("pmpr_serve_cache_entries", "rank query cache entries", func() float64 {
+		return float64(svc.CacheStats().Entries)
+	})
+	reg.Gauge("pmpr_serve_cache_hits_total", "rank query cache hits", func() float64 {
+		return float64(svc.CacheStats().Hits)
+	})
+	reg.Gauge("pmpr_serve_cache_misses_total", "rank query cache misses", func() float64 {
+		return float64(svc.CacheStats().Misses)
+	})
+	reg.Gauge("pmpr_serve_cache_evicts_total", "rank query cache evictions", func() float64 {
+		return float64(svc.CacheStats().Evicts)
+	})
+	reg.Gauge("pmpr_serve_store_windows", "windows in the published store", func() float64 {
+		if rs := svc.Store(); rs != nil {
+			return float64(rs.NumWindows())
+		}
+		return 0
+	})
+	reg.Gauge("pmpr_serve_store_vertices", "vertex-space size of the published store", func() float64 {
+		if rs := svc.Store(); rs != nil {
+			return float64(rs.NumVertices())
+		}
+		return 0
+	})
+	reg.Gauge("pmpr_serve_store_generation", "publish generation of the served store", func() float64 {
+		if rs := svc.Store(); rs != nil {
+			return float64(rs.Generation())
+		}
+		return 0
+	})
+
+	mux := obs.NewMux(reg)
+	obs.HandleLive(mux, journal, statusFn)
+	svc.Mount(mux)
+	obs.HandleIndex(mux, "pmserve", []string{
+		"/v1/topk", "/v1/vertex/{id}/trajectory", "/v1/movers", "/v1/windows",
+		"/status", "/events", "/metrics", "/debug/vars", "/debug/pprof/",
+	})
+
+	srv, err := obs.ServeHandler(*addr, mux)
+	if err != nil {
+		fatal(err)
+	}
+	shutdown := func(code int) {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pmserve: shutdown: %v\n", err)
+		}
+		os.Exit(code)
+	}
+	fmt.Printf("pmserve: serving on http://%s/ (/v1/topk, /v1/vertex/{id}/trajectory, /v1/movers, /v1/windows)\n", srv.Addr())
+
+	// First SIGINT/SIGTERM cancels an in-flight solve (or begins the
+	// drain when already serving); a second signal kills the process the
+	// usual way because stop() restores the default handlers.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *load != "" {
+		st, err := loadStore(*load)
+		if err != nil {
+			fatal(err)
+		}
+		svc.Publish(st)
+		fmt.Printf("pmserve: loaded %d windows over %d vertices from %s\n",
+			st.NumWindows(), st.NumVertices(), *load)
+	} else {
+		st, err := solveStore(ctx, *in, *deltaDays, *slide, *maxWin, ef, journal, reg, &liveEng)
+		if err != nil {
+			var canceled *core.CanceledError
+			if errors.As(err, &canceled) {
+				fmt.Printf("pmserve: interrupted; partial progress: %d/%d windows solved\n",
+					canceled.Completed, canceled.Total)
+				shutdown(130)
+			}
+			fatal(err)
+		}
+		svc.Publish(st)
+		fmt.Printf("pmserve: solved %d windows over %d vertices; store published\n",
+			st.NumWindows(), st.NumVertices())
+	}
+
+	<-ctx.Done()
+	fmt.Println("pmserve: signal received, draining")
+	shutdown(0)
+}
+
+// loadStore reads a .pmrs file and builds the immutable query store.
+// Corrupt input surfaces as a structured *results.CorruptError, never
+// a panic — the file is untrusted.
+func loadStore(path string) (*serve.RankStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//pmvet:ignore closecheck -- read-only input; decode errors already surface via the reader
+	defer f.Close()
+	s, err := results.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return serve.NewStore(s)
+}
+
+// solveStore runs the postmortem engine on the event file and converts
+// the finished series into a query store. The journal is wired into the
+// engine config, so window_done frames stream over /events while the
+// HTTP server (already up) answers 503 to /v1 queries.
+func solveStore(ctx context.Context, in string, deltaDays float64, slide int64, maxWin int,
+	ef *cliutil.EngineFlags, journal *obs.Journal, reg *obs.Registry,
+	liveEng *atomic.Pointer[core.Engine]) (*serve.RankStore, error) {
+	l, err := cliutil.ReadLog(in)
+	if err != nil {
+		return nil, err
+	}
+	if !ef.Directed {
+		l = l.Symmetrize()
+	}
+	spec, err := events.Span(l, int64(deltaDays*float64(gen.Day)), slide)
+	if err != nil {
+		return nil, err
+	}
+	if maxWin > 0 && spec.Count > maxWin {
+		spec.Count = maxWin
+	}
+	fmt.Printf("pmserve: solving %d windows over %d vertices (%d events)\n",
+		spec.Count, l.NumVertices(), l.Len())
+
+	pool := sched.NewPool(ef.Workers)
+	defer pool.Close()
+	cfg := core.DefaultConfig()
+	ef.ApplyTo(&cfg)
+	cfg.Journal = journal
+	eng, err := core.NewEngine(l, spec, cfg, pool)
+	if err != nil {
+		return nil, err
+	}
+	liveEng.Store(eng)
+	eng.FaultCounters().RegisterOn(reg, "pmpr_engine_fault")
+	eng.Histograms().RegisterOn(reg, "pmpr_window")
+	s, err := eng.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewStore(s.Export())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pmserve: %v\n", err)
+	os.Exit(1)
+}

@@ -13,11 +13,16 @@ import (
 
 // Histogram buckets the events of l into bins equal time slices and
 // returns the per-bin counts (the series plotted in Fig. 4), the bin
-// width, and the start time.
+// width, and the start time. Non-positive bins yield an explicit empty
+// result (nil counts, zero width) rather than a panic or a zero-width
+// layout.
 func Histogram(l *events.Log, bins int) (counts []int64, width int64, t0 int64) {
+	if bins <= 0 {
+		return nil, 0, 0
+	}
 	counts = make([]int64, bins)
 	first, last, ok := l.TimeRange()
-	if !ok || bins == 0 {
+	if !ok {
 		return counts, 0, 0
 	}
 	span := last - first + 1
@@ -69,8 +74,14 @@ func TopK(ranks []float64, k int) []int32 {
 	return idx
 }
 
-// TopKOverlap returns |topk(a) ∩ topk(b)| / k, a quick agreement
-// measure between two rank vectors.
+// TopKOverlap measures top-k agreement between two rank vectors as the
+// overlap coefficient |topk(a) ∩ topk(b)| / min(k, |topk(a)|, |topk(b)|)
+// — the intersection normalized by the smaller attainable top set, so
+// the measure is symmetric in its arguments. Two empty vectors agree
+// (1); an empty vector against a non-empty one scores 0. Note the
+// convention: a short vector whose few positives all appear in the
+// other's top-k still scores 1.0 — the coefficient reports containment,
+// not equality of the two top sets.
 func TopKOverlap(a, b []float64, k int) float64 {
 	ta, tb := TopK(a, k), TopK(b, k)
 	if len(ta) == 0 && len(tb) == 0 {
@@ -89,6 +100,9 @@ func TopKOverlap(a, b []float64, k int) float64 {
 	denom := k
 	if len(ta) < denom {
 		denom = len(ta)
+	}
+	if len(tb) < denom {
+		denom = len(tb)
 	}
 	if denom == 0 {
 		return 0

@@ -52,6 +52,16 @@ func TestHistogramEmptyAndDegenerate(t *testing.T) {
 	}
 }
 
+func TestHistogramNonPositiveBins(t *testing.T) {
+	l, _ := events.NewLog([]events.Event{{U: 0, V: 1, T: 3}, {U: 0, V: 1, T: 9}}, 2)
+	for _, bins := range []int{0, -1, -100} {
+		counts, width, t0 := Histogram(l, bins)
+		if len(counts) != 0 || width != 0 || t0 != 0 {
+			t.Fatalf("Histogram(bins=%d) = (%v, %d, %d); want empty", bins, counts, width, t0)
+		}
+	}
+}
+
 func TestHistogramConservesQuick(t *testing.T) {
 	f := func(raw []uint16, binsRaw uint8) bool {
 		bins := int(binsRaw%32) + 1
@@ -113,6 +123,36 @@ func TestTopKOverlap(t *testing.T) {
 	}
 }
 
+func TestTopKOverlapNormalizesBySmallerSet(t *testing.T) {
+	// a has 3 positive entries, all inside b's top-10; b has 10. The
+	// coefficient divides by min(k, 3, 10) = 3 in BOTH directions — the
+	// old min(k, len(ta)) normalization scored 1.0 one way and 0.3 the
+	// other.
+	a := make([]float64, 12)
+	b := make([]float64, 12)
+	a[0], a[1], a[2] = 0.5, 0.3, 0.2
+	for i := 0; i < 10; i++ {
+		b[i] = float64(10-i) / 55
+	}
+	x, y := TopKOverlap(a, b, 10), TopKOverlap(b, a, 10)
+	if x != y {
+		t.Fatalf("overlap asymmetric: %v vs %v", x, y)
+	}
+	if x != 1 {
+		t.Fatalf("containment overlap = %v, want 1 (3 of min-set 3 shared)", x)
+	}
+	// Disjoint small set: 0 of 3 shared.
+	a2 := make([]float64, 12)
+	a2[10], a2[11] = 0.6, 0.4
+	if o := TopKOverlap(a2, b, 10); o != 0 {
+		t.Fatalf("disjoint overlap = %v, want 0", o)
+	}
+	// One empty side never scores agreement.
+	if o := TopKOverlap(make([]float64, 12), b, 10); o != 0 {
+		t.Fatalf("empty-vs-full overlap = %v, want 0", o)
+	}
+}
+
 func TestSpearman(t *testing.T) {
 	a := []float64{0.1, 0.2, 0.3, 0.4}
 	if s := Spearman(a, a); math.Abs(s-1) > 1e-12 {
@@ -160,24 +200,13 @@ func TestTopKOverlapSymmetricQuick(t *testing.T) {
 			b[i] = float64(r / 16)
 		}
 		x, y := TopKOverlap(a, b, k), TopKOverlap(b, a, k)
-		// Overlap is symmetric when both sides have >= k positive
-		// entries; always within [0, 1].
+		// The overlap coefficient is symmetric unconditionally (the
+		// min-set normalization does not depend on argument order) and
+		// always within [0, 1].
 		if x < 0 || x > 1 || y < 0 || y > 1 {
 			return false
 		}
-		ca, cb := 0, 0
-		for i := range a {
-			if a[i] > 0 {
-				ca++
-			}
-			if b[i] > 0 {
-				cb++
-			}
-		}
-		if ca >= k && cb >= k && x != y {
-			return false
-		}
-		return true
+		return x == y
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

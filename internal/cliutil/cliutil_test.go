@@ -1,0 +1,115 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmpr/internal/core"
+	"pmpr/internal/events"
+	"pmpr/internal/sched"
+)
+
+func TestEngineFlagDefaultsMatchConfig(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ef := RegisterEngineFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	def := core.DefaultConfig()
+	cfg := core.DefaultConfig()
+	ef.ApplyTo(&cfg)
+	if cfg.Kernel != def.Kernel || cfg.Mode != def.Mode || cfg.Partitioner != def.Partitioner {
+		t.Fatalf("default engine flags diverge from DefaultConfig: %+v vs %+v", cfg, def)
+	}
+	if cfg.NumMultiWindows != 6 || cfg.VectorLen != 8 || cfg.Grain != 2 {
+		t.Fatalf("unexpected defaults: mw=%d veclen=%d grain=%d", cfg.NumMultiWindows, cfg.VectorLen, cfg.Grain)
+	}
+	if !cfg.PartialInit || cfg.Directed {
+		t.Fatalf("partial=%v directed=%v, want true/false", cfg.PartialInit, cfg.Directed)
+	}
+}
+
+func TestEngineFlagsApplyTo(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ef := RegisterEngineFlags(fs)
+	args := []string{
+		"-kernel", "spmv-blocked", "-mode", "window", "-partitioner", "static",
+		"-mw", "3", "-veclen", "4", "-grain", "7", "-no-partial", "-directed",
+		"-workers", "2",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	ef.ApplyTo(&cfg)
+	if cfg.Kernel != core.SpMVBlocked || cfg.Mode != core.WindowLevel || cfg.Partitioner != sched.Static {
+		t.Fatalf("enum flags not applied: %+v", cfg)
+	}
+	if cfg.NumMultiWindows != 3 || cfg.VectorLen != 4 || cfg.Grain != 7 {
+		t.Fatalf("numeric flags not applied: %+v", cfg)
+	}
+	if cfg.PartialInit || !cfg.Directed {
+		t.Fatalf("bool flags not applied: partial=%v directed=%v", cfg.PartialInit, cfg.Directed)
+	}
+	if ef.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", ef.Workers)
+	}
+}
+
+func TestParsersFallBackToDefaults(t *testing.T) {
+	if ParseKernel("nonsense") != core.SpMM {
+		t.Fatal("unknown kernel should fall back to SpMM")
+	}
+	if ParseMode("nonsense") != core.Nested {
+		t.Fatal("unknown mode should fall back to Nested")
+	}
+	if ParsePartitioner("nonsense") != sched.Auto {
+		t.Fatal("unknown partitioner should fall back to Auto")
+	}
+}
+
+// TestReadLogSniffsFormat round-trips the same log through the text and
+// binary encoders and checks ReadLog picks the right decoder for each
+// from the file contents alone.
+func TestReadLogSniffsFormat(t *testing.T) {
+	evs := []events.Event{{U: 0, V: 1, T: 10}, {U: 1, V: 2, T: 20}, {U: 2, V: 0, T: 30}}
+	l, err := events.NewLog(evs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, enc func(f *os.File) error) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	textPath := write("events.txt", func(f *os.File) error { return events.WriteText(f, l) })
+	binPath := write("events.bin", func(f *os.File) error { return events.WriteBinary(f, l) })
+	for _, path := range []string{textPath, binPath} {
+		got, err := ReadLog(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if got.Len() != l.Len() || got.NumVertices() != l.NumVertices() {
+			t.Fatalf("%s: decoded %d events / %d vertices, want %d / %d",
+				path, got.Len(), got.NumVertices(), l.Len(), l.NumVertices())
+		}
+	}
+}
+
+func TestReadLogMissingFile(t *testing.T) {
+	if _, err := ReadLog(filepath.Join(t.TempDir(), "absent.ev")); err == nil {
+		t.Fatal("expected an error for a missing file")
+	}
+}

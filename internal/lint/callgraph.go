@@ -779,6 +779,12 @@ func (b *graphBuilder) implementations(iface *types.Interface, method string) []
 }
 
 // emitEdges writes the final resolved edges of a site onto its caller.
+// Dedup is per call site, not per (callee, kind): a function that calls
+// the same callee from several sites keeps one edge per site, because
+// site-reading consumers (registered-kernel discovery reading the
+// argument expression, goleak flagging each launch) must see every
+// site, not just the first. Reachability walks are unaffected — they
+// track visited nodes — and WriteGraph dedups at render time.
 func (b *graphBuilder) emitEdges(s callSite) {
 	for callee, kind := range b.calleesOf(s) {
 		if s.goStmt {
@@ -786,7 +792,7 @@ func (b *graphBuilder) emitEdges(s callSite) {
 		}
 		dup := false
 		for _, e := range s.caller.Edges {
-			if e.Callee == callee && e.Kind == kind {
+			if e.Callee == callee && e.Kind == kind && e.Site == s.call {
 				dup = true
 				break
 			}
@@ -806,9 +812,15 @@ func (g *CallGraph) WriteGraph(w io.Writer) error {
 	copy(nodes, g.Nodes)
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
 	for _, n := range nodes {
+		// Collapse per-site edges: the dump names relations, not sites.
 		lines := make([]string, 0, len(n.Edges))
+		lineSeen := make(map[string]bool, len(n.Edges))
 		for _, e := range n.Edges {
-			lines = append(lines, fmt.Sprintf("  -> %s [%s]", e.Callee.Name, e.Kind))
+			l := fmt.Sprintf("  -> %s [%s]", e.Callee.Name, e.Kind)
+			if !lineSeen[l] {
+				lineSeen[l] = true
+				lines = append(lines, l)
+			}
 		}
 		sort.Strings(lines)
 		if _, err := fmt.Fprintln(w, n.Name); err != nil {

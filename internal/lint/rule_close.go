@@ -9,8 +9,9 @@ import (
 // closecheckRule flags Close/Flush calls whose error result is
 // discarded (bare statement, defer, or go) in the IO-heavy packages:
 // internal/events and internal/results write the event logs and rank
-// series that downstream analyses trust, and the cmd/ front-ends own
-// the files those packages stream into. A buffered writer reports
+// series that downstream analyses trust, and the cmd/ front-ends and
+// their shared internal/cliutil plumbing own the files those packages
+// stream into. A buffered writer reports
 // short writes at Flush/Close time — dropping that error turns a full
 // disk into silently truncated results. Read-side closes where the
 // error is genuinely uninteresting take //pmvet:ignore closecheck with
@@ -19,12 +20,13 @@ type closecheckRule struct{}
 
 func (closecheckRule) Name() string { return "closecheck" }
 func (closecheckRule) Doc() string {
-	return "no discarded Close/Flush errors in internal/events, internal/results, and cmd/*"
+	return "no discarded Close/Flush errors in internal/events, internal/results, internal/cliutil, and cmd/*"
 }
 
 func closecheckScope(path string) bool {
 	return strings.Contains(path, "internal/events") ||
 		strings.Contains(path, "internal/results") ||
+		strings.Contains(path, "internal/cliutil") ||
 		strings.Contains(path, "/cmd/")
 }
 

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// HandleIndex mounts a root discovery endpoint on mux: GET / (exact
+// path only, so unknown routes still 404) returns a JSON document
+// naming the daemon and listing the endpoints it has mounted. Daemons
+// that compose several handler families onto one mux — pmserve stacks
+// /v1 queries on top of /metrics, /status and /events — register the
+// index last, after every family's paths are known.
+func HandleIndex(mux *http.ServeMux, service string, endpoints []string) {
+	paths := append([]string(nil), endpoints...)
+	sort.Strings(paths)
+	body, err := json.Marshal(struct {
+		Service   string    `json:"service"`
+		Build     BuildInfo `json:"build"`
+		Endpoints []string  `json:"endpoints"`
+	}{Service: service, Build: CollectBuildInfo(), Endpoints: paths})
+	if err != nil {
+		// Static input (two strings and a string slice) cannot fail to
+		// marshal; degrade to an empty document rather than panicking.
+		body = []byte("{}")
+	}
+	body = append(body, '\n')
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if _, err := w.Write(body); err != nil {
+			// The client went away mid-write; nothing useful to do.
+			return
+		}
+	})
+}

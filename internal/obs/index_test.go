@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandleIndex(t *testing.T) {
+	mux := NewMux(nil)
+	HandleIndex(mux, "pmserve", []string{"/v1/windows", "/metrics", "/v1/topk"})
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET / = %d, want 200", rec.Code)
+	}
+	var doc struct {
+		Service   string   `json:"service"`
+		Endpoints []string `json:"endpoints"`
+		Build     struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("index body: %v", err)
+	}
+	if doc.Service != "pmserve" {
+		t.Fatalf("service = %q, want pmserve", doc.Service)
+	}
+	want := []string{"/metrics", "/v1/topk", "/v1/windows"} // sorted
+	if len(doc.Endpoints) != len(want) {
+		t.Fatalf("endpoints = %v, want %v", doc.Endpoints, want)
+	}
+	for i := range want {
+		if doc.Endpoints[i] != want[i] {
+			t.Fatalf("endpoints = %v, want %v", doc.Endpoints, want)
+		}
+	}
+	if doc.Build.GoVersion == "" {
+		t.Fatal("index build info missing go_version")
+	}
+}
+
+// TestHandleIndexExactRootOnly pins the /{$} pattern: the index must
+// answer only the exact root, not swallow unknown paths.
+func TestHandleIndexExactRootOnly(t *testing.T) {
+	mux := NewMux(nil)
+	HandleIndex(mux, "pmserve", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/no/such/route", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /no/such/route = %d, want 404", rec.Code)
+	}
+}

@@ -9,6 +9,15 @@
 // uint32, flags uint8 (bit0 converged, bit1 partial init), entry count
 // uint32, then entries of (vertex int32, rank float64) for positive
 // ranks only — windows are sparse relative to the vertex universe.
+//
+// Decoding is adversarial: Read validates every structural invariant
+// (vertex ids in range, entries strictly sorted, finite positive
+// ranks, windows in sequential order) and rejects violations with a
+// structured *CorruptError, so consumers like internal/serve can trust
+// a decoded Series without re-checking — Dense never indexes out of
+// bounds and binary searches over Vertices are always well-defined.
+// Write enforces the same invariants so a producer bug is caught at
+// export time, not at the first downstream read.
 package results
 
 import (
@@ -17,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"pmpr/internal/events"
 )
@@ -29,6 +39,32 @@ const (
 	flagPartialInit = 1 << 1
 )
 
+// CorruptError reports a structural violation found while decoding or
+// validating a rank series: an out-of-range vertex id, unsorted or
+// duplicate entries, a misordered window record, an implausible count.
+// IO-level failures (truncation, short reads) are reported as wrapped
+// io errors instead, so callers can distinguish "the file is damaged"
+// from "the file is lying".
+type CorruptError struct {
+	// Window is the window record the violation was found in, or -1
+	// for header-level violations.
+	Window int
+	// Detail describes the violated invariant.
+	Detail string
+}
+
+// Error renders the violation with its window context.
+func (e *CorruptError) Error() string {
+	if e.Window < 0 {
+		return "results: corrupt series: " + e.Detail
+	}
+	return fmt.Sprintf("results: corrupt series: window %d: %s", e.Window, e.Detail)
+}
+
+func corruptf(window int, format string, args ...any) error {
+	return &CorruptError{Window: window, Detail: fmt.Sprintf(format, args...)}
+}
+
 // WindowRanks is one deserialized window.
 type WindowRanks struct {
 	Window          int
@@ -36,12 +72,67 @@ type WindowRanks struct {
 	Converged       bool
 	UsedPartialInit bool
 	// Vertices and Ranks are parallel slices of the positive entries,
-	// sorted by vertex id.
+	// sorted by vertex id (strictly increasing — Validate enforces it).
 	Vertices []int32
 	Ranks    []float64
 }
 
-// Dense expands the sparse entries to a dense vector.
+// Len returns the number of sparse entries in the window.
+func (w *WindowRanks) Len() int { return len(w.Vertices) }
+
+// Rank looks up the rank of vertex v by binary search over the sorted
+// entries; ok is false when the vertex has no positive rank in this
+// window.
+func (w *WindowRanks) Rank(v int32) (rank float64, ok bool) {
+	i := sort.Search(len(w.Vertices), func(i int) bool { return w.Vertices[i] >= v })
+	if i < len(w.Vertices) && w.Vertices[i] == v {
+		return w.Ranks[i], true
+	}
+	return 0, false
+}
+
+// ForEach calls f for every entry in ascending vertex order.
+func (w *WindowRanks) ForEach(f func(v int32, rank float64)) {
+	for i, v := range w.Vertices {
+		f(v, w.Ranks[i])
+	}
+}
+
+// Validate checks the window's structural invariants as record index
+// `index` of a series over numVertices vertices: parallel slices, the
+// window label matching its position, vertex ids strictly increasing
+// within [0, numVertices), and ranks finite and positive. It returns a
+// *CorruptError describing the first violation, or nil.
+func (w *WindowRanks) Validate(index int, numVertices int32) error {
+	if len(w.Vertices) != len(w.Ranks) {
+		return corruptf(index, "%d vertices but %d ranks", len(w.Vertices), len(w.Ranks))
+	}
+	if w.Window != index {
+		return corruptf(index, "record labeled window %d out of sequential order", w.Window)
+	}
+	if w.Iterations < 0 {
+		return corruptf(index, "negative iteration count %d", w.Iterations)
+	}
+	prev := int32(-1)
+	for i, v := range w.Vertices {
+		if v < 0 || v >= numVertices {
+			return corruptf(index, "vertex id %d outside [0, %d)", v, numVertices)
+		}
+		if v <= prev {
+			return corruptf(index, "vertex ids not strictly increasing at entry %d (%d after %d)", i, v, prev)
+		}
+		prev = v
+		r := w.Ranks[i]
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			return corruptf(index, "vertex %d has non-positive or non-finite rank %v", v, r)
+		}
+	}
+	return nil
+}
+
+// Dense expands the sparse entries to a dense vector. The receiver
+// must satisfy Validate for this numVertices (Read guarantees it);
+// entries outside [0, numVertices) would otherwise index out of range.
 func (w *WindowRanks) Dense(numVertices int32) []float64 {
 	out := make([]float64, numVertices)
 	for i, v := range w.Vertices {
@@ -57,6 +148,17 @@ type Series struct {
 	Windows     []WindowRanks
 }
 
+// Window returns window i of the series.
+func (s *Series) Window(i int) *WindowRanks { return &s.Windows[i] }
+
+// SpecAndSize makes *Series a SeriesSource, so a decoded file can be
+// re-serialized or fed to consumers (e.g. serve.NewStore) directly.
+func (s *Series) SpecAndSize() (events.WindowSpec, int32) { return s.Spec, s.NumVertices }
+
+// WindowAt returns window i; with SpecAndSize it implements
+// SeriesSource.
+func (s *Series) WindowAt(i int) WindowRanks { return s.Windows[i] }
+
 // SeriesSource is what Write consumes: the subset of core.Series (or
 // any other producer) it needs. Implementations yield windows in order.
 type SeriesSource interface {
@@ -66,10 +168,16 @@ type SeriesSource interface {
 	WindowAt(i int) WindowRanks
 }
 
-// Write serializes src.
+// Write serializes src. Every window is validated (see
+// WindowRanks.Validate) before encoding, so a producer emitting
+// misordered records or out-of-range ids fails here rather than
+// handing a poisoned file to the next reader.
 func Write(w io.Writer, src SeriesSource) error {
 	bw := bufio.NewWriter(w)
 	spec, n := src.SpecAndSize()
+	if n < 0 {
+		return corruptf(-1, "negative vertex count %d", n)
+	}
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
@@ -86,8 +194,8 @@ func Write(w io.Writer, src SeriesSource) error {
 	rec := make([]byte, 12)
 	for i := 0; i < spec.Count; i++ {
 		wr := src.WindowAt(i)
-		if len(wr.Vertices) != len(wr.Ranks) {
-			return fmt.Errorf("results: window %d has %d vertices but %d ranks", i, len(wr.Vertices), len(wr.Ranks))
+		if err := wr.Validate(i, n); err != nil {
+			return err
 		}
 		var flags uint8
 		if wr.Converged {
@@ -115,7 +223,12 @@ func Write(w io.Writer, src SeriesSource) error {
 	return bw.Flush()
 }
 
-// Read deserializes a result file.
+// Read deserializes a result file, validating every structural
+// invariant as it decodes: the vertex count must be non-negative,
+// window records must appear in sequential order (record i labeled
+// window i), and each window must pass WindowRanks.Validate. A file
+// that violates any of them is rejected with a *CorruptError — never a
+// panic, and never a Series a consumer must distrust.
 func Read(r io.Reader) (*Series, error) {
 	br := bufio.NewReader(r)
 	m := make([]byte, 4)
@@ -143,7 +256,12 @@ func Read(r io.Reader) (*Series, error) {
 	}
 	const maxReasonable = 1 << 28
 	if s.Spec.Count < 0 || s.Spec.Count > maxReasonable {
-		return nil, fmt.Errorf("results: implausible window count %d", s.Spec.Count)
+		return nil, corruptf(-1, "implausible window count %d", s.Spec.Count)
+	}
+	if s.NumVertices < 0 {
+		// The uint32 on the wire can flip the int32 sign; a negative
+		// universe would turn every in-range check below into nonsense.
+		return nil, corruptf(-1, "negative vertex count %d", s.NumVertices)
 	}
 	rec := make([]byte, 12)
 	for i := 0; i < s.Spec.Count; i++ {
@@ -152,14 +270,14 @@ func Read(r io.Reader) (*Series, error) {
 			return nil, fmt.Errorf("results: window %d header: %w", i, err)
 		}
 		wr := WindowRanks{
-			Window:          int(binary.LittleEndian.Uint32(whdr[0:])),
-			Iterations:      int(binary.LittleEndian.Uint32(whdr[4:])),
+			Window:          int(int32(binary.LittleEndian.Uint32(whdr[0:]))),
+			Iterations:      int(int32(binary.LittleEndian.Uint32(whdr[4:]))),
 			Converged:       whdr[8]&flagConverged != 0,
 			UsedPartialInit: whdr[8]&flagPartialInit != 0,
 		}
 		count := binary.LittleEndian.Uint32(whdr[9:])
 		if count > maxReasonable {
-			return nil, fmt.Errorf("results: window %d has implausible entry count %d", i, count)
+			return nil, corruptf(i, "implausible entry count %d", count)
 		}
 		// Grow incrementally so a corrupt count fails with a truncation
 		// error rather than a huge allocation.
@@ -169,6 +287,9 @@ func Read(r io.Reader) (*Series, error) {
 			}
 			wr.Vertices = append(wr.Vertices, int32(binary.LittleEndian.Uint32(rec[0:])))
 			wr.Ranks = append(wr.Ranks, bitsFloat(binary.LittleEndian.Uint64(rec[4:])))
+		}
+		if err := wr.Validate(i, s.NumVertices); err != nil {
+			return nil, err
 		}
 		s.Windows = append(s.Windows, wr)
 	}

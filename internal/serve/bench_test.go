@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmpr/internal/events"
+	"pmpr/internal/results"
+)
+
+// benchSeries builds a larger synthetic series so the cold-path cost
+// (top-k extraction + JSON rendering) is realistic: 64 windows over
+// 20k vertices with ~2k positive entries each.
+func benchSeries(windows int, n int32, entries int) *results.Series {
+	rng := rand.New(rand.NewSource(42))
+	s := &results.Series{
+		Spec:        events.WindowSpec{T0: 0, Delta: 100, Slide: 10, Count: windows},
+		NumVertices: n,
+	}
+	for w := 0; w < windows; w++ {
+		wr := results.WindowRanks{Window: w, Iterations: 20, Converged: true}
+		seen := make(map[int32]bool, entries)
+		for len(seen) < entries {
+			seen[rng.Int31n(n)] = true
+		}
+		verts := make([]int32, 0, entries)
+		for v := range seen {
+			verts = append(verts, v)
+		}
+		sortInt32(verts)
+		var total float64
+		ranks := make([]float64, entries)
+		for i := range ranks {
+			ranks[i] = rng.Float64() + 0.01
+			total += ranks[i]
+		}
+		for i := range ranks {
+			ranks[i] /= total
+		}
+		wr.Vertices, wr.Ranks = verts, ranks
+		s.Windows = append(s.Windows, wr)
+	}
+	return s
+}
+
+func sortInt32(v []int32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func benchService(b *testing.B) (*Service, *RankStore) {
+	b.Helper()
+	st, err := NewStore(benchSeries(64, 20000, 2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := NewService(0)
+	svc.Publish(st)
+	return svc, st
+}
+
+// BenchmarkTopKCold measures the uncached query path: extract the
+// precomputed top-k slice and render the JSON response. This is what
+// every cache miss pays.
+func BenchmarkTopKCold(b *testing.B) {
+	_, st := benchService(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranks, err := st.TopK(i%st.NumWindows(), 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := marshalBody(topkResponse{Window: i % st.NumWindows(), K: 100, Ranks: ranks}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopKHit measures the cached fast path: the canonical key is
+// already resolved, so the query is a map lookup returning shared
+// bytes — 0 allocs/op (asserted by TestAnswerHitPathDoesNotAllocate).
+// Compare against BenchmarkTopKCold for the cache speedup; the
+// acceptance bar is >= 10x.
+func BenchmarkTopKHit(b *testing.B) {
+	svc, st := benchService(b)
+	key := canonicalKey(st.Generation(), "topk", 3, 100)
+	compute := func() ([]byte, error) {
+		ranks, err := st.TopK(3, 100)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(topkResponse{Window: 3, K: 100, Ranks: ranks})
+	}
+	if _, _, err := svc.answer(key, compute); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, source, err := svc.answer(key, compute); err != nil || source != sourceHit {
+			b.Fatalf("%q, %v", source, err)
+		}
+	}
+}
+
+// BenchmarkMoversCold measures the heaviest computed query: the linear
+// merge of two sparse windows plus the sort by |delta|.
+func BenchmarkMoversCold(b *testing.B) {
+	_, st := benchService(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := i % (st.NumWindows() - 1)
+		movers, err := st.Movers(from, from+1, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := marshalBody(moversResponse{From: from, To: from + 1, K: 50, Movers: movers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCachedQuerySpeedup encodes the serving-layer acceptance bar: a
+// cached query must be at least 10x faster than the cold compute path.
+// The measured margin is normally two orders of magnitude, so the
+// assertion stays safe on noisy shared runners.
+func TestCachedQuerySpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	st, err := NewStore(benchSeries(64, 20000, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(0)
+	svc.Publish(st)
+	compute := func() ([]byte, error) {
+		ranks, err := st.TopK(3, 100)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(topkResponse{Window: 3, K: 100, Ranks: ranks})
+	}
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := compute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	key := canonicalKey(st.Generation(), "topk", 3, 100)
+	if _, _, err := svc.answer(key, compute); err != nil {
+		t.Fatal(err)
+	}
+	hit := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := svc.answer(key, compute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	coldNs, hitNs := float64(cold.NsPerOp()), float64(hit.NsPerOp())
+	if hitNs <= 0 {
+		t.Fatalf("degenerate hit measurement: %v", hit)
+	}
+	speedup := coldNs / hitNs
+	t.Logf("cold %.0f ns/op, hit %.0f ns/op, speedup %.1fx", coldNs, hitNs, speedup)
+	if speedup < 10 {
+		t.Fatalf("cached query only %.1fx faster than cold, want >= 10x", speedup)
+	}
+}

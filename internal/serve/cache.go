@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a mutex-guarded LRU of rendered query responses, keyed by
+// the canonical query string (which embeds the store generation — see
+// Service.key — so a republished store can never be answered with
+// stale bytes). Values are immutable []byte responses; a hit returns
+// the cached slice without copying or allocating, which is what makes
+// the cached fast path 0 allocs/op.
+type Cache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	byK    map[string]*list.Element
+	hits   uint64
+	misses uint64
+	evicts uint64
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// DefaultCacheEntries is the entry budget NewCache applies when the
+// caller passes 0.
+const DefaultCacheEntries = 4096
+
+// NewCache creates an LRU holding at most max entries
+// (0 = DefaultCacheEntries).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	return &Cache{max: max, ll: list.New(), byK: make(map[string]*list.Element, max)}
+}
+
+// Get returns the cached response for key, marking it most recently
+// used. The returned slice is shared and must not be modified.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byK[key]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return e.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a response, evicting the least recently used entry when
+// the cache is full. Storing under an existing key replaces its value.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byK[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*cacheEntry).val = val
+		return
+	}
+	e := c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.byK[key] = e
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byK, oldest.Value.(*cacheEntry).key)
+		c.evicts++
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is the cache's counter snapshot, surfaced in /v1/windows
+// and the Prometheus registry.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Evicts  uint64 `json:"evicts"`
+}
+
+// Stats snapshots the hit/miss/evict counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.ll.Len(), Hits: c.hits, Misses: c.misses, Evicts: c.evicts}
+}

@@ -1,0 +1,49 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent duplicate work: all callers of Do
+// with the same key while a computation is in flight share its result
+// instead of recomputing it — the singleflight pattern, implemented on
+// the stdlib so a thundering herd of identical queries hits memory
+// once. Unlike the cache, entries live only for the duration of one
+// computation; the cache remembers, the group deduplicates.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress computation; followers block on wg and
+// read the leader's result.
+type flight struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// Do runs fn for key, unless a call for the same key is already in
+// flight, in which case it waits for that call and returns its result.
+// shared reports whether the result was produced by another caller.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		f.wg.Wait()
+		return f.val, f.err, true
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+	f.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return f.val, f.err, false
+}

@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// Service is the query front-end over an atomically swappable
+// RankStore: it owns the response cache and the request coalescer and
+// mounts the /v1 endpoints. A Service starts empty (every query
+// answers 503) until Publish hands it a store; pmserve -load publishes
+// once at startup, pmserve -solve publishes when the in-process engine
+// finishes, and every Publish bumps the generation so cached responses
+// from the previous store can never leak into the new one.
+type Service struct {
+	store atomic.Pointer[RankStore]
+	gen   atomic.Uint64
+	cache *Cache
+	group flightGroup
+
+	// MaxK caps the k accepted by top-k and movers queries, bounding
+	// per-query work and response size. Set before Mount; defaults to
+	// DefaultMaxK.
+	MaxK int
+}
+
+// DefaultMaxK is the top-k/movers size cap NewService installs.
+const DefaultMaxK = 1000
+
+// NewService creates a Service with a response cache of cacheEntries
+// entries (0 = DefaultCacheEntries) and no published store.
+func NewService(cacheEntries int) *Service {
+	return &Service{cache: NewCache(cacheEntries), MaxK: DefaultMaxK}
+}
+
+// Publish atomically swaps st in as the served store and assigns it
+// the next generation. Queries in flight keep reading the store they
+// started with; new queries see st immediately. Old cache entries are
+// left to age out of the LRU — their keys carry the old generation, so
+// they can never answer a query against st.
+func (s *Service) Publish(st *RankStore) {
+	st.generation = s.gen.Add(1)
+	s.store.Store(st)
+}
+
+// Store returns the currently published store, or nil before the first
+// Publish.
+func (s *Service) Store() *RankStore { return s.store.Load() }
+
+// CacheStats snapshots the response cache counters.
+func (s *Service) CacheStats() CacheStats { return s.cache.Stats() }
+
+// queryError carries the HTTP status a failed query maps to.
+type queryError struct {
+	status int
+	msg    string
+}
+
+// Error returns the query failure message.
+func (e *queryError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &queryError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &queryError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeJSONError renders err as {"error": ...} with its mapped status
+// (500 for non-query errors).
+func writeJSONError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var qe *queryError
+	if errors.As(err, &qe) {
+		status = qe.status
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(map[string]string{"error": err.Error()})
+	w.Write(append(b, '\n'))
+}
+
+// Response source labels for the X-Cache header: every answer declares
+// whether it came from the cache, a fresh computation, or another
+// caller's in-flight computation.
+const (
+	sourceHit       = "hit"
+	sourceMiss      = "miss"
+	sourceCoalesced = "coalesced"
+)
+
+// answer resolves one canonical query: cache first, then a coalesced
+// computation whose successful result is cached for the next caller.
+// The cache-hit path performs no allocation — it is a map lookup and
+// an LRU list splice returning the shared response bytes.
+func (s *Service) answer(key string, compute func() ([]byte, error)) (data []byte, source string, err error) {
+	if b, ok := s.cache.Get(key); ok {
+		return b, sourceHit, nil
+	}
+	b, err, shared := s.group.Do(key, func() ([]byte, error) {
+		b, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	source = sourceMiss
+	if shared {
+		source = sourceCoalesced
+	}
+	return b, source, nil
+}
+
+// serveQuery runs the cache/coalesce/compute pipeline for a request
+// and writes the JSON answer with its X-Cache provenance.
+func (s *Service) serveQuery(w http.ResponseWriter, key string, compute func() ([]byte, error)) {
+	data, source, err := s.answer(key, compute)
+	if err != nil {
+		writeJSONError(w, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("X-Cache", source)
+	w.Write(data)
+}
+
+// loadStore fetches the published store or reports 503: the daemon is
+// up (ready to scrape, streaming solve progress) but has nothing to
+// query yet.
+func (s *Service) loadStore(w http.ResponseWriter) (*RankStore, bool) {
+	st := s.store.Load()
+	if st == nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, &queryError{status: http.StatusServiceUnavailable,
+			msg: "store not ready (still solving or loading)"})
+		return nil, false
+	}
+	return st, true
+}
+
+// intParam parses a required integer query parameter.
+func intParam(r *http.Request, name string) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, badRequest("missing required parameter %q", name)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, badRequest("parameter %q: %v", name, err)
+	}
+	return n, nil
+}
+
+// kParam parses the optional k parameter (default 10), clamped to
+// [0, MaxK].
+func (s *Service) kParam(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("k")
+	if v == "" {
+		return 10, nil
+	}
+	k, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, badRequest("parameter \"k\": %v", err)
+	}
+	if k < 0 {
+		return 0, badRequest("parameter \"k\" must be >= 0")
+	}
+	if k > s.MaxK {
+		k = s.MaxK
+	}
+	return k, nil
+}
+
+// checkWindow maps an out-of-range window index to a 404.
+func checkWindow(st *RankStore, w int) error {
+	if w < 0 || w >= st.NumWindows() {
+		return notFound("window %d outside [0, %d)", w, st.NumWindows())
+	}
+	return nil
+}
+
+// canonicalKey builds the cache/coalesce key for a query: the store
+// generation, the endpoint, and the normalized integer parameters —
+// so "?window=03&k=+10" and "?k=10&window=3" coalesce, and entries
+// from a replaced store are unreachable.
+func canonicalKey(gen uint64, endpoint string, params ...int) string {
+	b := make([]byte, 0, 48)
+	b = append(b, 'g')
+	b = strconv.AppendUint(b, gen, 10)
+	b = append(b, '|')
+	b = append(b, endpoint...)
+	for _, p := range params {
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(p), 10)
+	}
+	return string(b)
+}
+
+// topkResponse is the /v1/topk JSON document.
+type topkResponse struct {
+	Window int      `json:"window"`
+	Start  int64    `json:"start"`
+	End    int64    `json:"end"`
+	K      int      `json:"k"`
+	Ranks  []Ranked `json:"ranks"`
+}
+
+func (s *Service) handleTopK(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.loadStore(w)
+	if !ok {
+		return
+	}
+	win, err := intParam(r, "window")
+	if err != nil {
+		writeJSONError(w, err)
+		return
+	}
+	k, err := s.kParam(r)
+	if err != nil {
+		writeJSONError(w, err)
+		return
+	}
+	if err := checkWindow(st, win); err != nil {
+		writeJSONError(w, err)
+		return
+	}
+	key := canonicalKey(st.generation, "topk", win, k)
+	s.serveQuery(w, key, func() ([]byte, error) {
+		ranks, err := st.TopK(win, k)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(topkResponse{
+			Window: win, Start: st.spec.Start(win), End: st.spec.End(win),
+			K: k, Ranks: ranks,
+		})
+	})
+}
+
+// trajectoryResponse is the /v1/vertex/{id}/trajectory JSON document:
+// the vertex's rank in every window, with the spec fields needed to
+// map indices back to time.
+type trajectoryResponse struct {
+	Vertex  int32     `json:"vertex"`
+	Windows int       `json:"windows"`
+	T0      int64     `json:"t0"`
+	Delta   int64     `json:"delta"`
+	Slide   int64     `json:"slide"`
+	Ranks   []float64 `json:"ranks"`
+}
+
+func (s *Service) handleTrajectory(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.loadStore(w)
+	if !ok {
+		return
+	}
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSONError(w, badRequest("vertex id: %v", err))
+		return
+	}
+	if id < 0 || id >= int64(st.NumVertices()) {
+		writeJSONError(w, notFound("vertex %d outside [0, %d)", id, st.NumVertices()))
+		return
+	}
+	v := int32(id)
+	key := canonicalKey(st.generation, "traj", int(v))
+	s.serveQuery(w, key, func() ([]byte, error) {
+		ranks, err := st.Trajectory(v)
+		if err != nil {
+			return nil, err
+		}
+		spec := st.Spec()
+		return marshalBody(trajectoryResponse{
+			Vertex: v, Windows: spec.Count, T0: spec.T0, Delta: spec.Delta, Slide: spec.Slide,
+			Ranks: ranks,
+		})
+	})
+}
+
+// moversResponse is the /v1/movers JSON document.
+type moversResponse struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	K      int     `json:"k"`
+	Movers []Mover `json:"movers"`
+}
+
+func (s *Service) handleMovers(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.loadStore(w)
+	if !ok {
+		return
+	}
+	from, err := intParam(r, "from")
+	if err != nil {
+		writeJSONError(w, err)
+		return
+	}
+	to, err := intParam(r, "to")
+	if err != nil {
+		writeJSONError(w, err)
+		return
+	}
+	k, err := s.kParam(r)
+	if err != nil {
+		writeJSONError(w, err)
+		return
+	}
+	if err := checkWindow(st, from); err != nil {
+		writeJSONError(w, err)
+		return
+	}
+	if err := checkWindow(st, to); err != nil {
+		writeJSONError(w, err)
+		return
+	}
+	key := canonicalKey(st.generation, "movers", from, to, k)
+	s.serveQuery(w, key, func() ([]byte, error) {
+		movers, err := st.Movers(from, to, k)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(moversResponse{From: from, To: to, K: k, Movers: movers})
+	})
+}
+
+// windowsResponse is the /v1/windows JSON document: the spec, the
+// per-window status rows, and the serving-layer counters. It is not
+// cached — the cache stats it carries change with every request.
+type windowsResponse struct {
+	Spec        specJSON     `json:"spec"`
+	NumVertices int32        `json:"num_vertices"`
+	Generation  uint64       `json:"generation"`
+	Windows     []WindowInfo `json:"windows"`
+	Cache       CacheStats   `json:"cache"`
+}
+
+// specJSON renders events.WindowSpec with stable lowercase field names.
+type specJSON struct {
+	T0    int64 `json:"t0"`
+	Delta int64 `json:"delta"`
+	Slide int64 `json:"slide"`
+	Count int   `json:"count"`
+}
+
+func (s *Service) handleWindows(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.loadStore(w)
+	if !ok {
+		return
+	}
+	spec := st.Spec()
+	b, err := marshalBody(windowsResponse{
+		Spec:        specJSON{T0: spec.T0, Delta: spec.Delta, Slide: spec.Slide, Count: spec.Count},
+		NumVertices: st.NumVertices(),
+		Generation:  st.generation,
+		Windows:     st.WindowInfos(),
+		Cache:       s.cache.Stats(),
+	})
+	if err != nil {
+		writeJSONError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(b)
+}
+
+// marshalBody renders a response document as newline-terminated JSON.
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Mount registers the /v1 query endpoints on mux — typically the obs
+// mux, next to /metrics, /status, and /events, so one daemon address
+// serves scrapes, live progress, and rank queries.
+func (s *Service) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	mux.HandleFunc("GET /v1/vertex/{id}/trajectory", s.handleTrajectory)
+	mux.HandleFunc("GET /v1/movers", s.handleMovers)
+	mux.HandleFunc("GET /v1/windows", s.handleWindows)
+}

@@ -1,0 +1,249 @@
+// Package serve implements the rank-serving layer behind cmd/pmserve:
+// an immutable, concurrently shared RankStore built from a postmortem
+// rank series, plus the HTTP/JSON query service (top-k, trajectories,
+// window-over-window movers) with per-query LRU caching and
+// singleflight request coalescing. The paper's premise is that
+// downstream applications consume the postmortem rank vectors
+// (Sec. 2.2); this package is that downstream application — the first
+// adversarial consumer of the .pmrs format — and serves the vectors at
+// interactive latency the way Kairos and DeltaGraph argue a postmortem
+// layout should pay off.
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"pmpr/internal/events"
+	"pmpr/internal/results"
+)
+
+// Ranked is one (vertex, rank) pair of a top-k answer.
+type Ranked struct {
+	Vertex int32   `json:"vertex"`
+	Rank   float64 `json:"rank"`
+}
+
+// Mover is one window-over-window rank change: the vertex's rank in
+// each of the two compared windows and the signed delta.
+type Mover struct {
+	Vertex int32   `json:"vertex"`
+	From   float64 `json:"from_rank"`
+	To     float64 `json:"to_rank"`
+	Delta  float64 `json:"delta"`
+}
+
+// WindowInfo is the per-window status row of the /v1/windows listing.
+type WindowInfo struct {
+	Window          int     `json:"window"`
+	Start           int64   `json:"start"`
+	End             int64   `json:"end"`
+	Entries         int     `json:"entries"`
+	Iterations      int     `json:"iterations"`
+	Converged       bool    `json:"converged"`
+	UsedPartialInit bool    `json:"used_partial_init"`
+	MaxRank         float64 `json:"max_rank"`
+}
+
+// storeWindow is one window's immutable serving layout: the sparse
+// vector sorted by vertex (for lookups and merges) plus the entry
+// order sorted by descending rank (the precomputed top-k answer).
+type storeWindow struct {
+	meta     WindowInfo
+	vertices []int32
+	ranks    []float64
+	// byRank holds entry indices into vertices/ranks, sorted by rank
+	// descending with ascending vertex as the tie-break; TopK(k) is the
+	// first k, already in answer order.
+	byRank []int32
+}
+
+// RankStore is an immutable in-memory rank series laid out for
+// queries. All methods are safe for unlimited concurrent use: nothing
+// is mutated after NewStore returns, so readers share it without
+// locks. Swapping in a new store (pmserve -solve publishing a fresh
+// series) is the caller's concern — see Service.Publish.
+type RankStore struct {
+	spec        events.WindowSpec
+	numVertices int32
+	windows     []storeWindow
+	// generation distinguishes successively published stores; the query
+	// cache folds it into every key so entries from a replaced store can
+	// never be served against the new one.
+	generation uint64
+}
+
+// NewStore builds the immutable serving layout from a rank series.
+// The source is validated window by window — NewStore is deliberately
+// paranoid even about data that internal/results has already checked,
+// because it also accepts in-process sources (core.Series.Export) that
+// never passed through the decoder.
+func NewStore(src results.SeriesSource) (*RankStore, error) {
+	spec, n := src.SpecAndSize()
+	if n < 0 {
+		return nil, fmt.Errorf("serve: negative vertex count %d", n)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: invalid window spec: %w", err)
+	}
+	st := &RankStore{spec: spec, numVertices: n, windows: make([]storeWindow, spec.Count)}
+	for i := 0; i < spec.Count; i++ {
+		wr := src.WindowAt(i)
+		if err := wr.Validate(i, n); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		sw := storeWindow{
+			meta: WindowInfo{
+				Window:          i,
+				Start:           spec.Start(i),
+				End:             spec.End(i),
+				Entries:         wr.Len(),
+				Iterations:      wr.Iterations,
+				Converged:       wr.Converged,
+				UsedPartialInit: wr.UsedPartialInit,
+			},
+			vertices: wr.Vertices,
+			ranks:    wr.Ranks,
+			byRank:   make([]int32, wr.Len()),
+		}
+		for j := range sw.byRank {
+			sw.byRank[j] = int32(j)
+		}
+		sort.Slice(sw.byRank, func(x, y int) bool {
+			rx, ry := sw.ranks[sw.byRank[x]], sw.ranks[sw.byRank[y]]
+			if rx > ry {
+				return true
+			}
+			if rx < ry {
+				return false
+			}
+			return sw.vertices[sw.byRank[x]] < sw.vertices[sw.byRank[y]]
+		})
+		if len(sw.byRank) > 0 {
+			sw.meta.MaxRank = sw.ranks[sw.byRank[0]]
+		}
+		st.windows[i] = sw
+	}
+	return st, nil
+}
+
+// Spec returns the window spec the store serves.
+func (s *RankStore) Spec() events.WindowSpec { return s.spec }
+
+// NumWindows returns the number of windows.
+func (s *RankStore) NumWindows() int { return len(s.windows) }
+
+// NumVertices returns the size of the vertex universe.
+func (s *RankStore) NumVertices() int32 { return s.numVertices }
+
+// Generation returns the publish generation Service.Publish assigned
+// (0 for a store that was never published).
+func (s *RankStore) Generation() uint64 { return s.generation }
+
+// TopK returns the k highest-ranked vertices of window w, descending
+// by rank with ascending vertex id as the tie-break. The answer order
+// is precomputed at build time, so a query is a bounds check and k
+// slice reads.
+func (s *RankStore) TopK(w, k int) ([]Ranked, error) {
+	if w < 0 || w >= len(s.windows) {
+		return nil, fmt.Errorf("serve: window %d outside [0, %d)", w, len(s.windows))
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("serve: negative k %d", k)
+	}
+	sw := &s.windows[w]
+	if k > len(sw.byRank) {
+		k = len(sw.byRank)
+	}
+	out := make([]Ranked, k)
+	for i := 0; i < k; i++ {
+		e := sw.byRank[i]
+		out[i] = Ranked{Vertex: sw.vertices[e], Rank: sw.ranks[e]}
+	}
+	return out, nil
+}
+
+// Trajectory returns vertex v's rank in every window (0 where the
+// vertex has no positive rank): the per-vertex time series downstream
+// analyses plot.
+func (s *RankStore) Trajectory(v int32) ([]float64, error) {
+	if v < 0 || v >= s.numVertices {
+		return nil, fmt.Errorf("serve: vertex %d outside [0, %d)", v, s.numVertices)
+	}
+	out := make([]float64, len(s.windows))
+	for w := range s.windows {
+		sw := &s.windows[w]
+		i := sort.Search(len(sw.vertices), func(i int) bool { return sw.vertices[i] >= v })
+		if i < len(sw.vertices) && sw.vertices[i] == v {
+			out[w] = sw.ranks[i]
+		}
+	}
+	return out, nil
+}
+
+// Movers compares windows from and to and returns the k vertices with
+// the largest absolute rank change, ties broken by ascending vertex
+// id. A vertex absent from one of the windows contributes its full
+// rank as the delta, so risers from (and fallers to) zero are ranked
+// alongside in-both changes. The two sparse vectors are merged in one
+// linear pass over their union.
+func (s *RankStore) Movers(from, to, k int) ([]Mover, error) {
+	if from < 0 || from >= len(s.windows) {
+		return nil, fmt.Errorf("serve: window %d outside [0, %d)", from, len(s.windows))
+	}
+	if to < 0 || to >= len(s.windows) {
+		return nil, fmt.Errorf("serve: window %d outside [0, %d)", to, len(s.windows))
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("serve: negative k %d", k)
+	}
+	a, b := &s.windows[from], &s.windows[to]
+	movers := make([]Mover, 0, len(a.vertices)+len(b.vertices))
+	i, j := 0, 0
+	for i < len(a.vertices) || j < len(b.vertices) {
+		switch {
+		case j >= len(b.vertices) || (i < len(a.vertices) && a.vertices[i] < b.vertices[j]):
+			movers = append(movers, Mover{Vertex: a.vertices[i], From: a.ranks[i], Delta: -a.ranks[i]})
+			i++
+		case i >= len(a.vertices) || b.vertices[j] < a.vertices[i]:
+			movers = append(movers, Mover{Vertex: b.vertices[j], To: b.ranks[j], Delta: b.ranks[j]})
+			j++
+		default: // present in both
+			m := Mover{Vertex: a.vertices[i], From: a.ranks[i], To: b.ranks[j]}
+			m.Delta = m.To - m.From
+			movers = append(movers, m)
+			i++
+			j++
+		}
+	}
+	sort.Slice(movers, func(x, y int) bool {
+		ax, ay := abs(movers[x].Delta), abs(movers[y].Delta)
+		if ax > ay {
+			return true
+		}
+		if ax < ay {
+			return false
+		}
+		return movers[x].Vertex < movers[y].Vertex
+	})
+	if k < len(movers) {
+		movers = movers[:k]
+	}
+	return movers, nil
+}
+
+// WindowInfos returns the per-window status listing, in window order.
+func (s *RankStore) WindowInfos() []WindowInfo {
+	out := make([]WindowInfo, len(s.windows))
+	for i := range s.windows {
+		out[i] = s.windows[i].meta
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
