@@ -18,6 +18,9 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -529,15 +532,268 @@ func TestCLIServe(t *testing.T) {
 		!strings.Contains(metrics.String(), "pmpr_serve_store_windows 8") {
 		t.Fatalf("/metrics missing serve gauges:\n%s", metrics.String())
 	}
+	for _, name := range []string{
+		"pmpr_serve_shed_total", "pmpr_serve_timeout_total",
+		"pmpr_serve_panics_total", "pmpr_serve_inflight",
+	} {
+		if !strings.Contains(metrics.String(), name) {
+			t.Fatalf("/metrics missing guard metric %s:\n%s", name, metrics.String())
+		}
+	}
 	index := getJSON("/", "")
 	if index["service"] != "pmserve" {
 		t.Fatalf("index = %v", index)
+	}
+
+	// Health probes: alive and ready while serving.
+	if doc := getJSON("/healthz", ""); doc["status"] != "ok" {
+		t.Fatalf("/healthz = %v, want ok", doc)
+	}
+	if doc := getJSON("/readyz", ""); doc["status"] != "serving" {
+		t.Fatalf("/readyz = %v, want serving", doc)
+	}
+
+	// Degrade-to-stale: corrupt the series file on disk and SIGHUP. The
+	// reload must fail without taking the daemon down — queries keep
+	// answering from the published generation with X-Stale, and /readyz
+	// reports "degraded" (still 200, so load balancers keep routing).
+	good, err := os.ReadFile(pmrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pmrs, []byte("PMRS\x01\x00\x00\x00garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Process.Signal(syscall.SIGHUP)
+	waitReadyz := func(want string) map[string]interface{} {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(base + "/readyz")
+			if err != nil {
+				t.Fatalf("GET /readyz: %v", err)
+			}
+			var doc map[string]interface{}
+			err = json.NewDecoder(resp.Body).Decode(&doc)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("decode /readyz: %v", err)
+			}
+			if doc["status"] == want {
+				return doc
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("/readyz never reached %q, last: %v", want, doc)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	doc := waitReadyz("degraded")
+	if reason, _ := doc["reason"].(string); !strings.Contains(reason, "reload failed") {
+		t.Fatalf("degraded readyz reason = %v, want reload failure", doc)
+	}
+	resp, err = http.Get(base + "/v1/topk?window=2&k=3")
+	if err != nil {
+		t.Fatalf("GET topk while degraded: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded query = %s, want 200 stale-but-valid", resp.Status)
+	}
+	if resp.Header.Get("X-Stale") != "true" {
+		t.Fatal("degraded query response missing X-Stale: true")
+	}
+
+	// Restore the file and SIGHUP again: the daemon recovers, the
+	// generation advances, and X-Stale disappears.
+	if err := os.WriteFile(pmrs, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Process.Signal(syscall.SIGHUP)
+	waitReadyz("serving")
+	resp, err = http.Get(base + "/v1/topk?window=2&k=3")
+	if err != nil {
+		t.Fatalf("GET topk after recovery: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Stale") != "" {
+		t.Fatalf("recovered query = %s X-Stale=%q, want clean 200", resp.Status, resp.Header.Get("X-Stale"))
 	}
 
 	cmd.Process.Signal(os.Interrupt)
 	if err := cmd.Wait(); err != nil {
 		t.Fatalf("pmserve exit: %v\n%s", err, <-outDone)
 	}
+}
+
+// TestCLIServeDrain floods a live pmserve with concurrent clients (and
+// one open SSE stream), then sends SIGTERM mid-flood: the daemon must
+// exit 0 within -drain-timeout plus slack, every response must be a
+// clean 200, a shed 503, or a connection error from the shutdown —
+// never a partial body or a hang.
+func TestCLIServeDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI e2e skipped in -short mode")
+	}
+	tmp := t.TempDir()
+	ev := filepath.Join(tmp, "enron.ev")
+	pmrs := filepath.Join(tmp, "ranks.pmrs")
+	runTool(t, "./cmd/pmgen", "-dataset", "enron", "-scale", "0.02", "-seed", "3", "-o", ev, "-format", "binary")
+	runTool(t, "./cmd/pmrank", "-in", ev, "-delta-days", "365", "-slide", "172800",
+		"-max-windows", "8", "-out", pmrs)
+	bin := filepath.Join(tmp, "pmserve")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/pmserve").CombinedOutput(); err != nil {
+		t.Fatalf("go build pmserve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-load", pmrs, "-addr", "127.0.0.1:0", "-drain-timeout", "5s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start pmserve: %v", err)
+	}
+	killed := time.AfterFunc(90*time.Second, func() { cmd.Process.Kill() })
+	defer killed.Stop()
+	defer cmd.Process.Kill()
+
+	addrRe := regexp.MustCompile(`serving on http://([^/]+)/`)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("timed out waiting for the pmserve address")
+	}
+	base := "http://" + addr
+
+	// Wait for the store, then open an SSE stream that would never end
+	// on its own — Shutdown must force-close it at the drain deadline.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ok {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pmserve never became ready")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	sseResp, err := http.Get(base + "/events")
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	defer sseResp.Body.Close()
+	sseDone := make(chan struct{})
+	go func() {
+		defer close(sseDone)
+		io.Copy(io.Discard, sseResp.Body)
+	}()
+
+	// Flood: 100 clients hammering a mix of cached and uncached queries.
+	var (
+		wg       sync.WaitGroup
+		okCount  atomic.Int64
+		shed     atomic.Int64
+		connErrs atomic.Int64
+		badMu    sync.Mutex
+		bad      []string
+	)
+	stop := make(chan struct{})
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := fmt.Sprintf("%s/v1/topk?window=%d&k=%d", base, j%8, i%20+1)
+				resp, err := http.Get(url)
+				if err != nil {
+					// The listener is closing under us; expected.
+					connErrs.Add(1)
+					return
+				}
+				_, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch {
+				case rerr != nil:
+					connErrs.Add(1)
+					return
+				case resp.StatusCode == http.StatusOK:
+					okCount.Add(1)
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					shed.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						badMu.Lock()
+						bad = append(bad, "503 without Retry-After")
+						badMu.Unlock()
+					}
+				default:
+					badMu.Lock()
+					bad = append(bad, resp.Status)
+					badMu.Unlock()
+				}
+			}
+		}(i)
+	}
+
+	// Let the flood establish, then SIGTERM mid-flight.
+	time.Sleep(300 * time.Millisecond)
+	start := time.Now()
+	cmd.Process.Signal(syscall.SIGTERM)
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("pmserve exit after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("pmserve did not exit within -drain-timeout plus slack")
+	}
+	if elapsed := time.Since(start); elapsed > 12*time.Second {
+		t.Fatalf("drain took %v, want within -drain-timeout plus slack", elapsed)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case <-sseDone:
+		// The SSE stream was force-closed by the drain.
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream still open after process exit")
+	}
+
+	if len(bad) > 0 {
+		t.Fatalf("flood saw %d malformed responses, e.g. %s", len(bad), bad[0])
+	}
+	if okCount.Load() == 0 {
+		t.Fatal("flood completed zero successful requests before the drain")
+	}
+	t.Logf("drain flood: %d ok, %d shed, %d connection errors", okCount.Load(), shed.Load(), connErrs.Load())
 }
 
 func TestCLIErrors(t *testing.T) {

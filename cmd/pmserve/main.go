@@ -58,6 +58,14 @@ func main() {
 		cacheN    = flag.Int("cache", 0, "response cache entries (0 = default)")
 		maxK      = flag.Int("max-k", serve.DefaultMaxK, "largest k accepted by topk/movers queries")
 		version   = flag.Bool("version", false, "print build info and exit")
+
+		reqTimeout   = flag.Duration("request-timeout", 5*time.Second, "per-request deadline for /v1 queries (0 = none)")
+		maxInFlight  = flag.Int("max-inflight", 256, "concurrent uncached query computations before queueing (0 = unlimited)")
+		maxQueue     = flag.Int("max-queue", 0, "requests waiting for a compute slot before shedding (0 = -max-inflight)")
+		queueWait    = flag.Duration("queue-wait", 100*time.Millisecond, "longest a queued request waits for a compute slot before shedding")
+		rate         = flag.Float64("rate", 0, "per-client sustained requests/sec on /v1 endpoints (0 = unlimited)")
+		rateBurst    = flag.Int("rate-burst", 0, "per-client burst above -rate (0 = ceil(-rate))")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "how long in-flight requests get to finish at shutdown")
 	)
 	flag.Parse()
 	if *version {
@@ -75,6 +83,15 @@ func main() {
 
 	svc := serve.NewService(*cacheN)
 	svc.MaxK = *maxK
+	guard := serve.NewGuard(serve.GuardConfig{
+		Timeout:     *reqTimeout,
+		MaxInFlight: *maxInFlight,
+		MaxQueue:    *maxQueue,
+		QueueWait:   *queueWait,
+		RatePerSec:  *rate,
+		RateBurst:   *rateBurst,
+	})
+	svc.Guard = guard
 	journal := obs.NewJournal(0)
 
 	// liveEng is set once the -solve engine exists; before that (and in
@@ -107,6 +124,7 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	guard.RegisterOn(reg)
 	reg.Gauge("pmpr_serve_cache_entries", "rank query cache entries", func() float64 {
 		return float64(svc.CacheStats().Entries)
 	})
@@ -141,8 +159,10 @@ func main() {
 	mux := obs.NewMux(reg)
 	obs.HandleLive(mux, journal, statusFn)
 	svc.Mount(mux)
+	svc.MountOps(mux)
 	obs.HandleIndex(mux, "pmserve", []string{
 		"/v1/topk", "/v1/vertex/{id}/trajectory", "/v1/movers", "/v1/windows",
+		"/healthz", "/readyz",
 		"/status", "/events", "/metrics", "/debug/vars", "/debug/pprof/",
 	})
 
@@ -150,12 +170,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// shutdown is the single exit path once the server is up: gate new
+	// work out (503 + Retry-After), let in-flight requests run to
+	// completion within -drain-timeout (Shutdown force-closes stragglers
+	// and SSE streams at the deadline), then join any orphaned coalesced
+	// fills so process exit never races a live computation.
 	shutdown := func(code int) {
-		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		guard.StartDrain()
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			fmt.Fprintf(os.Stderr, "pmserve: shutdown: %v\n", err)
 		}
+		svc.WaitFills()
 		os.Exit(code)
 	}
 	fmt.Printf("pmserve: serving on http://%s/ (/v1/topk, /v1/vertex/{id}/trajectory, /v1/movers, /v1/windows)\n", srv.Addr())
@@ -166,29 +193,68 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	if *load != "" {
-		st, err := loadStore(*load)
-		if err != nil {
-			fatal(err)
+	// buildStore produces a fresh store the same way the daemon was
+	// started — re-reading -load or re-solving -in — so SIGHUP reloads
+	// follow the exact startup path.
+	buildStore := func(ctx context.Context) (*serve.RankStore, error) {
+		if *load != "" {
+			return loadStore(*load)
 		}
-		svc.Publish(st)
+		return solveStore(ctx, *in, *deltaDays, *slide, *maxWin, ef, journal, reg, &liveEng)
+	}
+
+	st, err := buildStore(ctx)
+	if err != nil {
+		var canceled *core.CanceledError
+		if errors.As(err, &canceled) {
+			fmt.Printf("pmserve: interrupted; partial progress: %d/%d windows solved\n",
+				canceled.Completed, canceled.Total)
+			shutdown(130)
+		}
+		// No previous generation to fall back to: startup failures stay
+		// fatal rather than degrading into a daemon with nothing to serve.
+		fatal(err)
+	}
+	if err := svc.TryPublish(st); err != nil {
+		fatal(err)
+	}
+	if *load != "" {
 		fmt.Printf("pmserve: loaded %d windows over %d vertices from %s\n",
 			st.NumWindows(), st.NumVertices(), *load)
 	} else {
-		st, err := solveStore(ctx, *in, *deltaDays, *slide, *maxWin, ef, journal, reg, &liveEng)
-		if err != nil {
-			var canceled *core.CanceledError
-			if errors.As(err, &canceled) {
-				fmt.Printf("pmserve: interrupted; partial progress: %d/%d windows solved\n",
-					canceled.Completed, canceled.Total)
-				shutdown(130)
-			}
-			fatal(err)
-		}
-		svc.Publish(st)
 		fmt.Printf("pmserve: solved %d windows over %d vertices; store published\n",
 			st.NumWindows(), st.NumVertices())
 	}
+
+	// SIGHUP reloads the store in place: a successful rebuild publishes
+	// the next generation (and clears any degraded state); a failed one
+	// leaves the current generation serving and marks the daemon
+	// degraded, so operators see stale-but-valid answers (X-Stale,
+	// /readyz "degraded") instead of an outage.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		defer signal.Stop(hup)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				fmt.Println("pmserve: SIGHUP received, reloading store")
+				st, err := buildStore(ctx)
+				if err == nil {
+					err = svc.TryPublish(st)
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "pmserve: reload failed, serving previous generation: %v\n", err)
+					svc.SetDegraded(fmt.Sprintf("reload failed: %v", err))
+					continue
+				}
+				fmt.Printf("pmserve: reloaded; now serving generation %d (%d windows)\n",
+					svc.Store().Generation(), st.NumWindows())
+			}
+		}
+	}()
 
 	<-ctx.Done()
 	fmt.Println("pmserve: signal received, draining")

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServerLimitsWithDefaults(t *testing.T) {
+	got := ServerLimits{}.withDefaults()
+	want := DefaultServerLimits()
+	if got != want {
+		t.Fatalf("zero limits = %+v, want defaults %+v", got, want)
+	}
+	// Explicit fields survive; only zero fields are filled.
+	got = ServerLimits{ReadHeaderTimeout: time.Second, MaxHeaderBytes: 512}.withDefaults()
+	if got.ReadHeaderTimeout != time.Second || got.MaxHeaderBytes != 512 {
+		t.Fatalf("explicit fields overwritten: %+v", got)
+	}
+	if got.WriteTimeout != want.WriteTimeout || got.IdleTimeout != want.IdleTimeout {
+		t.Fatalf("zero fields not defaulted: %+v", got)
+	}
+}
+
+// TestServeHandlerAppliesLimits checks the listener-facing server
+// carries the protection limits, by observing their behavior rather
+// than poking at internals: a client that sends a partial header and
+// stalls (slowloris) must be disconnected once ReadHeaderTimeout
+// fires, while a well-behaved request on the same server succeeds.
+func TestServeHandlerSlowlorisCutOff(t *testing.T) {
+	srv, err := ServeHandlerLimits(":0",
+		http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusNoContent) }),
+		ServerLimits{ReadHeaderTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("ServeHandlerLimits: %v", err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	// Well-behaved request first: the server works.
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatalf("healthy GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("healthy GET status = %d, want 204", resp.StatusCode)
+	}
+
+	// Slowloris: open a raw connection, send half a request line, stall.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "GET / HTTP/1.1\r\nHost: stall"); err != nil {
+		t.Fatalf("partial write: %v", err)
+	}
+	// The server must close the connection once ReadHeaderTimeout
+	// (100ms) elapses; give it generous slack, then require EOF/reset —
+	// not our own read deadline — to be what ends the read.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	_, err = conn.Read(buf)
+	if err == nil {
+		// A 408 response body counts too: read until the close.
+		_, err = io.Copy(io.Discard, conn)
+	}
+	if err == nil || strings.Contains(err.Error(), "i/o timeout") {
+		t.Fatalf("stalled connection was not closed by the server (err=%v)", err)
+	}
+}
+
+// TestEventsHandlerOutlivesWriteTimeout proves the SSE stream clears
+// its connection deadlines: with a server WriteTimeout far shorter
+// than the stream's lifetime, a frame appended after the timeout has
+// elapsed must still reach the subscriber intact.
+func TestEventsHandlerOutlivesWriteTimeout(t *testing.T) {
+	j := NewJournal(16)
+	mux := http.NewServeMux()
+	HandleLive(mux, j, nil)
+	srv, err := ServeHandlerLimits(":0", mux, ServerLimits{
+		ReadTimeout:  150 * time.Millisecond,
+		WriteTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("ServeHandlerLimits: %v", err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr().String() + "/events")
+	if err != nil {
+		t.Fatalf("GET /events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	// Let both the read and write deadlines (150ms) lapse, then emit.
+	time.Sleep(400 * time.Millisecond)
+	j.Append(Event{Type: EvRunStart})
+
+	type frame struct {
+		line string
+		err  error
+	}
+	got := make(chan frame, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+				got <- frame{line: line}
+				return
+			}
+		}
+		got <- frame{err: fmt.Errorf("stream ended: %v", sc.Err())}
+	}()
+	select {
+	case f := <-got:
+		if f.err != nil {
+			t.Fatalf("stream died before delivering post-deadline frame: %v", f.err)
+		}
+		if !strings.Contains(f.line, `"type":"run_start"`) {
+			t.Fatalf("unexpected frame %q", f.line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-deadline event never arrived: write deadline killed the stream")
+	}
+
+	// Tear down promptly; Shutdown force-closes the SSE stream.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+}

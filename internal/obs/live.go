@@ -104,6 +104,16 @@ func EventsHandler(j *Journal) http.Handler {
 			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 			return
 		}
+		// A long-lived stream must outlive the server's WriteTimeout
+		// (and ReadTimeout — the connection's read deadline also kills
+		// writes once it fires). Clear both for this connection only, so
+		// the server-wide limits keep protecting every ordinary handler.
+		// Errors are deliberately ignored: under a non-net/http server
+		// (httptest's ResponseRecorder) there is no deadline to clear.
+		rc := http.NewResponseController(w)
+		rc.SetWriteDeadline(time.Time{})
+		rc.SetReadDeadline(time.Time{})
+
 		h := w.Header()
 		h.Set("Content-Type", "text/event-stream")
 		h.Set("Cache-Control", "no-store")

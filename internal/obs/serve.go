@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // NewMux builds the observability HTTP handler:
@@ -130,6 +131,63 @@ func (s *Server) Close() error {
 	return s.stop(s.srv.Close)
 }
 
+// ServerLimits are the HTTP server's protection knobs: without them a
+// single slow (or malicious) client holds a connection — and its
+// goroutine, buffers, and possibly a handler — forever. The zero value
+// of any field inherits that field's default from DefaultServerLimits.
+type ServerLimits struct {
+	// ReadHeaderTimeout bounds reading one request's header block — the
+	// slowloris guard. A client that trickles header bytes is cut off.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading an entire request (header + body).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing a response. Streaming handlers that
+	// legitimately outlive it (the /events SSE stream) clear their
+	// connection's deadline via http.ResponseController — see
+	// EventsHandler — so the limit protects every ordinary handler
+	// without a server-wide carve-out.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit
+	// between requests.
+	IdleTimeout time.Duration
+	// MaxHeaderBytes caps request header size.
+	MaxHeaderBytes int
+}
+
+// DefaultServerLimits returns the limits Serve/ServeHandler apply:
+// tight on headers (5s, 1MB), generous on bodies and responses (30s /
+// 60s — a 30s pprof CPU profile must fit), and 2m keep-alive idle.
+func DefaultServerLimits() ServerLimits {
+	return ServerLimits{
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// withDefaults fills zero fields from DefaultServerLimits.
+func (l ServerLimits) withDefaults() ServerLimits {
+	d := DefaultServerLimits()
+	if l.ReadHeaderTimeout <= 0 {
+		l.ReadHeaderTimeout = d.ReadHeaderTimeout
+	}
+	if l.ReadTimeout <= 0 {
+		l.ReadTimeout = d.ReadTimeout
+	}
+	if l.WriteTimeout <= 0 {
+		l.WriteTimeout = d.WriteTimeout
+	}
+	if l.IdleTimeout <= 0 {
+		l.IdleTimeout = d.IdleTimeout
+	}
+	if l.MaxHeaderBytes <= 0 {
+		l.MaxHeaderBytes = d.MaxHeaderBytes
+	}
+	return l
+}
+
 // Serve binds addr and serves the observability mux in a background
 // goroutine. The caller owns the returned server and should Shutdown
 // (or Close) it.
@@ -139,13 +197,27 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 
 // ServeHandler binds addr and serves an arbitrary handler — typically
 // NewMux(reg) with live endpoints mounted via HandleLive — in a
-// background goroutine.
+// background goroutine, with DefaultServerLimits applied.
 func ServeHandler(addr string, h http.Handler) (*Server, error) {
+	return ServeHandlerLimits(addr, h, DefaultServerLimits())
+}
+
+// ServeHandlerLimits is ServeHandler with explicit protection limits
+// (zero fields inherit the defaults).
+func ServeHandlerLimits(addr string, h http.Handler, limits ServerLimits) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: h}
+	limits = limits.withDefaults()
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: limits.ReadHeaderTimeout,
+		ReadTimeout:       limits.ReadTimeout,
+		WriteTimeout:      limits.WriteTimeout,
+		IdleTimeout:       limits.IdleTimeout,
+		MaxHeaderBytes:    limits.MaxHeaderBytes,
+	}
 	s := &Server{srv: srv, ln: ln, serveErr: make(chan error, 1)}
 	go func() { s.serveErr <- srv.Serve(ln) }()
 	return s, nil

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -87,21 +88,22 @@ func BenchmarkTopKCold(b *testing.B) {
 // acceptance bar is >= 10x.
 func BenchmarkTopKHit(b *testing.B) {
 	svc, st := benchService(b)
+	ctx := context.Background()
 	key := canonicalKey(st.Generation(), "topk", 3, 100)
-	compute := func() ([]byte, error) {
+	compute := func(context.Context) ([]byte, error) {
 		ranks, err := st.TopK(3, 100)
 		if err != nil {
 			return nil, err
 		}
 		return marshalBody(topkResponse{Window: 3, K: 100, Ranks: ranks})
 	}
-	if _, _, err := svc.answer(key, compute); err != nil {
+	if _, _, err := svc.answer(ctx, key, compute); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, source, err := svc.answer(key, compute); err != nil || source != sourceHit {
+		if _, source, err := svc.answer(ctx, key, compute); err != nil || source != sourceHit {
 			b.Fatalf("%q, %v", source, err)
 		}
 	}
@@ -139,7 +141,8 @@ func TestCachedQuerySpeedup(t *testing.T) {
 	}
 	svc := NewService(0)
 	svc.Publish(st)
-	compute := func() ([]byte, error) {
+	ctx := context.Background()
+	compute := func(context.Context) ([]byte, error) {
 		ranks, err := st.TopK(3, 100)
 		if err != nil {
 			return nil, err
@@ -148,18 +151,18 @@ func TestCachedQuerySpeedup(t *testing.T) {
 	}
 	cold := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := compute(); err != nil {
+			if _, err := compute(ctx); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	key := canonicalKey(st.Generation(), "topk", 3, 100)
-	if _, _, err := svc.answer(key, compute); err != nil {
+	if _, _, err := svc.answer(ctx, key, compute); err != nil {
 		t.Fatal(err)
 	}
 	hit := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := svc.answer(key, compute); err != nil {
+			if _, _, err := svc.answer(ctx, key, compute); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,348 @@
+// Chaos suite for the serving path: every serve-layer fault point is
+// driven through every injection mode and the daemon must answer a
+// structured HTTP error or a stale-but-valid response — never crash,
+// hang, or return an empty 200. Run under -race in CI (the chaos-serve
+// job) so the fault paths are also exercised for data races.
+
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pmpr/internal/fault"
+)
+
+// chaosGet fetches path and returns the status, headers, and decoded
+// body, failing the test on transport errors — a fault must never tear
+// the connection down without a structured response.
+func chaosGet(t *testing.T, url string) (int, http.Header, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: transport error (connection torn down?): %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	doc := map[string]any{}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("GET %s: non-JSON body %q", url, body)
+		}
+	}
+	return resp.StatusCode, resp.Header, doc
+}
+
+// TestServeChaosFaultMatrix arms each query-path fault point in each
+// mode and checks the response contract, then disarms and verifies the
+// same query succeeds — a fault must not poison the cache or wedge the
+// coalescer.
+func TestServeChaosFaultMatrix(t *testing.T) {
+	points := []string{PointCoalesceLeader, PointCacheFill, PointResponseWrite}
+	modes := []fault.Mode{fault.ModeError, fault.ModePanic, fault.ModeDelay}
+	query := 0
+	for _, point := range points {
+		for _, mode := range modes {
+			t.Run(fmt.Sprintf("%s_%s", point, mode), func(t *testing.T) {
+				cfg := GuardConfig{}
+				if mode == fault.ModeDelay {
+					cfg.Timeout = 30 * time.Millisecond
+				}
+				svc, g, ts := newGuardedServer(t, cfg)
+				defer svc.WaitFills()
+				rule := fault.Rule{Point: point, Mode: mode, Msg: "chaos"}
+				if mode == fault.ModeDelay {
+					rule.Delay = 300 * time.Millisecond
+				}
+				cancel := fault.Arm(rule)
+
+				// A distinct query per subtest so nothing is pre-cached.
+				query++
+				url := ts.URL + "/v1/topk?window=0&k=" + strconv.Itoa(query%100+1)
+				code, _, doc := chaosGet(t, url)
+
+				switch mode {
+				case fault.ModeError, fault.ModePanic:
+					if code != http.StatusInternalServerError {
+						t.Fatalf("status = %d, want 500", code)
+					}
+				case fault.ModeDelay:
+					if code != http.StatusGatewayTimeout {
+						t.Fatalf("status = %d, want 504", code)
+					}
+					if g.Timeouts.Value() == 0 {
+						t.Fatal("delay fault did not bump the timeout counter")
+					}
+				}
+				if msg, _ := doc["error"].(string); msg == "" {
+					t.Fatalf("fault response carries no structured error: %v", doc)
+				}
+				if mode == fault.ModePanic && g.Panics.Value() == 0 && point != PointResponseWrite {
+					// Response-write panics recover in the guard's handler
+					// layer too, but fill panics must bump the counter.
+					t.Fatal("panic fault did not bump the panic counter")
+				}
+
+				// Disarm; the same query now succeeds with real data. The
+				// delay case must wait out its orphaned fill first so the
+				// stale flight is not joined.
+				cancel()
+				svc.WaitFills()
+				code, hdr, doc := chaosGet(t, url)
+				if code != http.StatusOK {
+					t.Fatalf("post-fault status = %d, want 200", code)
+				}
+				if len(doc) == 0 {
+					t.Fatal("post-fault 200 with empty body")
+				}
+				if _, ok := doc["ranks"]; !ok {
+					t.Fatalf("post-fault response missing ranks: %v", doc)
+				}
+				if hdr.Get("X-Cache") == "" {
+					t.Fatal("post-fault response missing X-Cache provenance")
+				}
+			})
+		}
+	}
+}
+
+// TestServeChaosStoreSwap drives the publish fault point through error
+// and panic while queries hammer the service: the old generation keeps
+// answering throughout, and a disarmed republish recovers.
+func TestServeChaosStoreSwap(t *testing.T) {
+	svc, g, ts := newGuardedServer(t, GuardConfig{})
+	gen := svc.Store().Generation()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/v1/topk?window=0&k=3")
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+
+	for _, mode := range []fault.Mode{fault.ModeError, fault.ModePanic} {
+		cancel := fault.Arm(fault.Rule{Point: PointStoreSwap, Mode: mode, Msg: "chaos swap"})
+		st, err := NewStore(testSeries())
+		if err != nil {
+			t.Fatalf("NewStore: %v", err)
+		}
+		if perr := svc.TryPublish(st); perr == nil {
+			t.Fatalf("TryPublish under %v fault returned nil", mode)
+		}
+		cancel()
+		if got := svc.Store().Generation(); got != gen {
+			t.Fatalf("generation after failed %v publish = %d, want %d", mode, got, gen)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d queries failed while publishes were failing; the old store must keep serving", n)
+	}
+	if g.Panics.Value() == 0 {
+		t.Fatal("panicking publish did not bump the panic counter")
+	}
+
+	// Recovery: a clean publish advances the generation.
+	st, err := NewStore(testSeries())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if err := svc.TryPublish(st); err != nil {
+		t.Fatalf("TryPublish after disarm: %v", err)
+	}
+	if got := svc.Store().Generation(); got != gen+1 {
+		t.Fatalf("generation after recovery = %d, want %d", got, gen+1)
+	}
+}
+
+// TestServeOverloadShedsMissesNotHits floods a tiny compute budget with
+// distinct (uncached) queries and checks the overload contract: some
+// requests shed with 503 + Retry-After, nothing crashes or hangs, and
+// a pre-primed cached query stays served from cache throughout.
+func TestServeOverloadShedsMissesNotHits(t *testing.T) {
+	svc, g, ts := newGuardedServer(t, GuardConfig{
+		MaxInFlight: 2, MaxQueue: 2, QueueWait: 30 * time.Millisecond,
+	})
+	defer svc.WaitFills()
+
+	// Prime one query into the cache before the storm.
+	primed := ts.URL + "/v1/topk?window=0&k=7"
+	if code, _, _ := chaosGet(t, primed); code != http.StatusOK {
+		t.Fatal("failed to prime cache")
+	}
+
+	// Slow every fresh computation down so the 2-slot budget saturates.
+	cancel := fault.Arm(fault.Rule{Point: PointCoalesceLeader, Mode: fault.ModeDelay, Delay: 80 * time.Millisecond})
+	defer cancel()
+
+	const n = 24
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	retryOK := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct k per request: no two coalesce, every one is a miss.
+			resp, err := http.Get(ts.URL + "/v1/movers?from=0&to=1&k=" + strconv.Itoa(i+1))
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryOK[i] = resp.Header.Get("Retry-After") != ""
+		}(i)
+	}
+
+	// While the storm runs, the primed query must still answer from
+	// cache — the hit path bypasses the compute limiter entirely.
+	code, hdr, _ := chaosGet(t, primed)
+	if code != http.StatusOK {
+		t.Fatalf("cached query during overload = %d, want 200", code)
+	}
+	if hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("cached query X-Cache = %q during overload, want hit", hdr.Get("X-Cache"))
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+			if !retryOK[i] {
+				t.Fatalf("shed response %d missing Retry-After", i)
+			}
+		case -1:
+			t.Fatalf("request %d hit a transport error", i)
+		default:
+			t.Fatalf("request %d status = %d, want 200 or 503", i, c)
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("no requests shed under %dx overload (ok=%d)", n, ok)
+	}
+	if ok == 0 {
+		t.Fatal("every request shed; admitted work should still complete")
+	}
+	if g.Shed.Value() < int64(shed) {
+		t.Fatalf("Shed counter = %d, want >= %d", g.Shed.Value(), shed)
+	}
+}
+
+// TestServeRepublishUnderLoad hammers queries while the store is
+// republished mid-flight; responses must always be whole documents
+// from one generation or a structured error, never a crash. Run with
+// -race this doubles as the swap/query race check.
+func TestServeRepublishUnderLoad(t *testing.T) {
+	svc, _, ts := newGuardedServer(t, GuardConfig{})
+	defer svc.WaitFills()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := ts.URL + "/v1/topk?window=" + strconv.Itoa(j%3) + "&k=" + strconv.Itoa(i+1)
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Errorf("GET during republish: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d during republish: %s", resp.StatusCode, body)
+					return
+				}
+				var doc topkResponse
+				if err := json.Unmarshal(body, &doc); err != nil {
+					t.Errorf("torn response during republish: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 20; i++ {
+		st, err := NewStore(testSeries())
+		if err != nil {
+			t.Fatalf("NewStore: %v", err)
+		}
+		if err := svc.TryPublish(st); err != nil {
+			t.Fatalf("TryPublish #%d: %v", i, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestAnswerContextCanceledMapsTo499 checks the client-gone path: a
+// request context canceled while the fill runs surfaces as the 499
+// convention, not a 500 and not a hang.
+func TestAnswerContextCanceledMapsTo499(t *testing.T) {
+	svc := newTestService(t)
+	svc.Guard = NewGuard(GuardConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	inFill := make(chan struct{})
+	finish := make(chan struct{})
+	defer close(finish)
+	go func() {
+		<-inFill
+		cancel()
+	}()
+	_, _, err := svc.answer(ctx, "cck", func(context.Context) ([]byte, error) {
+		close(inFill)
+		<-finish
+		return []byte("late\n"), nil
+	})
+	mapped := svc.mapQueryError(err)
+	var qe *queryError
+	if !errors.As(mapped, &qe) || qe.status != statusClientClosedRequest {
+		t.Fatalf("canceled request mapped to %v, want 499 queryError", mapped)
+	}
+}

@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flightGroup coalesces concurrent duplicate work: all callers of Do
 // with the same key while a computation is in flight share its result
@@ -8,42 +11,98 @@ import "sync"
 // the stdlib so a thundering herd of identical queries hits memory
 // once. Unlike the cache, entries live only for the duration of one
 // computation; the cache remembers, the group deduplicates.
+//
+// The fill runs detached from any single caller's context: a waiter
+// whose deadline fires (or whose client disconnects) abandons the
+// flight and gets its context error, while the computation keeps
+// running for the remaining waiters — a canceled leader can neither
+// strand its followers nor poison the result they receive. Only when
+// the last waiter abandons is the fill's own context canceled, so
+// orphaned work stops instead of running to completion for nobody.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flight
+	// fills joins the detached fill goroutines; Wait blocks until every
+	// in-flight computation has returned (the drain path uses this so
+	// process exit does not race a live fill).
+	fills sync.WaitGroup
 }
 
-// flight is one in-progress computation; followers block on wg and
-// read the leader's result.
+// flight is one in-progress computation. done is closed after val/err
+// are set, which is the happens-before edge waiters read through.
 type flight struct {
-	wg  sync.WaitGroup
-	val []byte
-	err error
+	done    chan struct{}
+	cancel  context.CancelFunc
+	val     []byte
+	err     error
+	waiters int // guarded by flightGroup.mu
 }
 
-// Do runs fn for key, unless a call for the same key is already in
-// flight, in which case it waits for that call and returns its result.
-// shared reports whether the result was produced by another caller.
-func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+// Do returns the result of fn for key, joining an in-flight call for
+// the same key when one exists. shared reports whether the result was
+// (or would have been) produced by another caller's flight. fn receives
+// a fill context that is detached from ctx's cancellation and canceled
+// only when every waiter has abandoned the flight; ctx governs only
+// this caller's wait. A panic inside fn is contained and surfaces to
+// every waiter as a structured *PanicError.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) (val []byte, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flight)
 	}
 	if f, ok := g.m[key]; ok {
+		f.waiters++
 		g.mu.Unlock()
-		f.wg.Wait()
-		return f.val, f.err, true
+		return g.wait(ctx, f, true)
 	}
-	f := &flight{}
-	f.wg.Add(1)
+	// The fill context inherits ctx's values but not its cancellation:
+	// the flight outlives any individual caller by design.
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	g.m[key] = f
 	g.mu.Unlock()
 
-	f.val, f.err = fn()
-	f.wg.Done()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	return f.val, f.err, false
+	g.fills.Add(1)
+	go func() {
+		defer g.fills.Done()
+		defer func() {
+			if v := recover(); v != nil {
+				f.err = &PanicError{Op: "coalesced fill", Value: v}
+				f.val = nil
+			}
+			cancel()
+			g.mu.Lock()
+			if g.m[key] == f {
+				delete(g.m, key)
+			}
+			g.mu.Unlock()
+			close(f.done)
+		}()
+		f.val, f.err = fn(fctx)
+	}()
+	return g.wait(ctx, f, false)
 }
+
+// wait blocks until the flight completes or ctx is done, whichever
+// comes first. An abandoning waiter decrements the flight's waiter
+// count and, when it was the last one, cancels the fill.
+func (g *flightGroup) wait(ctx context.Context, f *flight, shared bool) ([]byte, error, bool) {
+	select {
+	case <-f.done:
+		return f.val, f.err, shared
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		g.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, ctx.Err(), shared
+	}
+}
+
+// Wait blocks until every in-flight fill has returned. New flights
+// started while waiting are also joined (sync.WaitGroup semantics);
+// callers stop admitting work before draining.
+func (g *flightGroup) Wait() { g.fills.Wait() }

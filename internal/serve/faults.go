@@ -1,0 +1,34 @@
+package serve
+
+import "pmpr/internal/fault"
+
+// Serve-layer fault injection points. They sit at the seams where the
+// serving path can fail for real — a store swap racing a query load, a
+// cache fill after an expensive compute, the coalesce leader's fill
+// itself, and the final response write — and never on the cache-hit
+// fast path, which stays a plain map lookup. Chaos tests arm these
+// (and PMPR_FAULTPOINTS can arm them in a live daemon) to prove every
+// failure surfaces as a structured HTTP error or a stale-but-valid
+// response, never a crash, hang, or empty 200.
+const (
+	// PointStoreSwap fires inside TryPublish, before the new store is
+	// made visible — a failed or panicking publish must leave the
+	// previous generation serving.
+	PointStoreSwap = "serve.store.swap"
+	// PointCacheFill fires after a successful compute, before its
+	// result is inserted into the response cache.
+	PointCacheFill = "serve.cache.fill"
+	// PointCoalesceLeader fires at the start of a coalesced fill — the
+	// single computation a thundering herd of identical queries shares.
+	PointCoalesceLeader = "serve.coalesce.leader"
+	// PointResponseWrite fires immediately before the response bytes
+	// are written to the client.
+	PointResponseWrite = "serve.response.write"
+)
+
+func init() {
+	fault.RegisterPoint(PointStoreSwap, "rank store publish/swap (TryPublish, before the new generation is visible)")
+	fault.RegisterPoint(PointCacheFill, "response cache insert after a successful compute")
+	fault.RegisterPoint(PointCoalesceLeader, "coalesced fill entry (the shared computation)")
+	fault.RegisterPoint(PointResponseWrite, "response body write to the client")
+}

@@ -1,0 +1,555 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pmpr/internal/fault"
+	"pmpr/internal/obs"
+)
+
+// newGuardedServer builds a test Service with the given guard attached
+// and mounts it (plus the ops endpoints) on an httptest server.
+func newGuardedServer(t *testing.T, cfg GuardConfig) (*Service, *Guard, *httptest.Server) {
+	t.Helper()
+	svc := newTestService(t)
+	g := NewGuard(cfg)
+	svc.Guard = g
+	mux := http.NewServeMux()
+	svc.Mount(mux)
+	svc.MountOps(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return svc, g, ts
+}
+
+func TestGuardDeadlineAnswers504(t *testing.T) {
+	svc, g, ts := newGuardedServer(t, GuardConfig{Timeout: 30 * time.Millisecond})
+	// Arm a delay far past the deadline on the coalesce leader; the
+	// waiter's context expires first and must map to 504.
+	cancel := fault.Arm(fault.Rule{Point: PointCoalesceLeader, Mode: fault.ModeDelay, Delay: 300 * time.Millisecond})
+	defer cancel()
+	defer svc.WaitFills()
+
+	resp := get(t, ts, "/v1/topk?window=0&k=3", nil)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if got := g.Timeouts.Value(); got != 1 {
+		t.Fatalf("Timeouts counter = %d, want 1", got)
+	}
+}
+
+func TestGuardShedsWhenQueueFull(t *testing.T) {
+	svc, g, ts := newGuardedServer(t, GuardConfig{
+		MaxInFlight: 1, MaxQueue: 1, QueueWait: 40 * time.Millisecond, RetryAfter: 2 * time.Second,
+	})
+	// Occupy the single compute slot directly so the HTTP requests below
+	// deterministically find it busy.
+	release, err := g.acquireCompute(context.Background())
+	if err != nil {
+		t.Fatalf("acquireCompute: %v", err)
+	}
+	defer svc.WaitFills()
+	defer release()
+
+	// Fire several distinct (uncacheable against each other) misses
+	// concurrently: with one queue slot and no compute capacity, all of
+	// them eventually shed — one after QueueWait, the rest immediately.
+	const n = 4
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	retry := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/topk?window=0&k=" + strconv.Itoa(i+1))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retry[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	shed := 0
+	for i, c := range codes {
+		if c == http.StatusServiceUnavailable {
+			shed++
+			if retry[i] != "2" {
+				t.Fatalf("shed response %d Retry-After = %q, want \"2\"", i, retry[i])
+			}
+		}
+	}
+	if shed != n {
+		t.Fatalf("shed %d of %d requests, want all (slot was held for the whole test)", shed, n)
+	}
+	if got := g.Shed.Value(); got < int64(n) {
+		t.Fatalf("Shed counter = %d, want >= %d", got, n)
+	}
+}
+
+func TestGuardRateLimitAnswers429(t *testing.T) {
+	_, g, ts := newGuardedServer(t, GuardConfig{RatePerSec: 0.001, RateBurst: 1})
+	// Burst of 1: the first request passes, the second (same client
+	// host) must be rejected with 429 + Retry-After.
+	resp := get(t, ts, "/v1/topk?window=0&k=3", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request status = %d, want 200", resp.StatusCode)
+	}
+	var body map[string]string
+	resp = get(t, ts, "/v1/topk?window=1&k=3", &body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	if body["error"] == "" {
+		t.Fatal("429 response missing structured error body")
+	}
+	if got := g.RateLimited.Value(); got != 1 {
+		t.Fatalf("RateLimited counter = %d, want 1", got)
+	}
+}
+
+func TestGuardRecoversHandlerPanic(t *testing.T) {
+	g := NewGuard(GuardConfig{})
+	mux := http.NewServeMux()
+	mux.Handle("GET /boom", g.Wrap(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})))
+	mux.Handle("GET /fine", g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatalf("GET /boom: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler status = %d, want 500", resp.StatusCode)
+	}
+	var doc map[string]string
+	if err := json.Unmarshal(b, &doc); err != nil || !strings.Contains(doc["error"], "kaboom") {
+		t.Fatalf("panicking handler body = %q, want structured error mentioning kaboom", b)
+	}
+	if got := g.Panics.Value(); got != 1 {
+		t.Fatalf("Panics counter = %d, want 1", got)
+	}
+	// The server (and guard) survive: the next request works normally.
+	resp, err = http.Get(ts.URL + "/fine")
+	if err != nil {
+		t.Fatalf("GET /fine after panic: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("post-panic request status = %d, want 204", resp.StatusCode)
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight after requests = %d, want 0", got)
+	}
+}
+
+func TestGuardDrainGate(t *testing.T) {
+	started := make(chan struct{})
+	finish := make(chan struct{})
+	g := NewGuard(GuardConfig{})
+	mux := http.NewServeMux()
+	mux.Handle("GET /slow", g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-finish
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("done\n"))
+	})))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// Launch an in-flight request, then start draining under it.
+	type result struct {
+		code int
+		err  error
+	}
+	slow := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/slow")
+		if err != nil {
+			slow <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		slow <- result{code: resp.StatusCode}
+	}()
+	<-started
+	g.StartDrain()
+	if !g.Draining() {
+		t.Fatal("Draining() = false after StartDrain")
+	}
+
+	// New work is shed with 503 + Retry-After while the drain runs.
+	resp, err := http.Get(ts.URL + "/slow")
+	if err != nil {
+		t.Fatalf("GET during drain: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain 503 missing Retry-After")
+	}
+
+	// The in-flight request still completes successfully.
+	close(finish)
+	r := <-slow
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", r.err)
+	}
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request status = %d, want 200", r.code)
+	}
+}
+
+func TestGuardNilAndDisabledAdmitEverything(t *testing.T) {
+	var g *Guard
+	release, err := g.acquireCompute(context.Background())
+	if err != nil {
+		t.Fatalf("nil guard acquireCompute: %v", err)
+	}
+	release()
+	g = NewGuard(GuardConfig{}) // admission disabled
+	release, err = g.acquireCompute(context.Background())
+	if err != nil {
+		t.Fatalf("disabled guard acquireCompute: %v", err)
+	}
+	release()
+	if !g.allow("10.0.0.1:1234") {
+		t.Fatal("disabled rate limit rejected a request")
+	}
+}
+
+func TestGuardRegisterOnPublishesMetrics(t *testing.T) {
+	g := NewGuard(GuardConfig{MaxInFlight: 4})
+	reg := obs.NewRegistry()
+	g.RegisterOn(reg)
+	g.Shed.Inc()
+	g.Timeouts.Inc()
+	g.Panics.Inc()
+	var sb strings.Builder
+	reg.WriteProm(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"pmpr_serve_shed_total 1",
+		"pmpr_serve_timeout_total 1",
+		"pmpr_serve_panics_total 1",
+		"pmpr_serve_rate_limited_total 0",
+		"pmpr_serve_inflight 0",
+		"pmpr_serve_queue_depth 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCoalesceCanceledLeaderDoesNotStrandFollowers is the regression
+// test for the cancellation bug class: the first caller (the leader)
+// cancels mid-fill. The leader must get its context error promptly,
+// the follower must still receive the computed value, and the cache
+// must end up with the real result — not poisoned, not empty.
+func TestCoalesceCanceledLeaderDoesNotStrandFollowers(t *testing.T) {
+	svc := newTestService(t)
+	inFill := make(chan struct{})
+	finish := make(chan struct{})
+	var calls atomic.Int64
+	compute := func(context.Context) ([]byte, error) {
+		calls.Add(1)
+		close(inFill)
+		<-finish
+		return []byte("value\n"), nil
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	type res struct {
+		data   []byte
+		source string
+		err    error
+	}
+	leader := make(chan res, 1)
+	go func() {
+		d, s, err := svc.answer(leaderCtx, "k1", compute)
+		leader <- res{d, s, err}
+	}()
+	<-inFill // the fill is running under the leader's flight
+
+	// A follower joins the same key, then the leader cancels.
+	follower := make(chan res, 1)
+	go func() {
+		d, s, err := svc.answer(context.Background(), "k1", compute)
+		follower <- res{d, s, err}
+	}()
+	// Give the follower a moment to join the flight before canceling.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+
+	// The leader returns its context error promptly — well before the
+	// fill completes.
+	select {
+	case r := <-leader:
+		if !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("canceled leader err = %v, want context.Canceled", r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled leader did not return: stranded on its own fill")
+	}
+
+	// The fill keeps running for the follower; let it finish.
+	close(finish)
+	select {
+	case r := <-follower:
+		if r.err != nil {
+			t.Fatalf("follower err = %v, want value", r.err)
+		}
+		if string(r.data) != "value\n" {
+			t.Fatalf("follower data = %q, want %q", r.data, "value\n")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower stranded after leader cancellation")
+	}
+	svc.WaitFills()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1 (coalesced)", n)
+	}
+	// The cache holds the real value: a fresh caller hits without
+	// recomputing.
+	d, src, err := svc.answer(context.Background(), "k1", func(context.Context) ([]byte, error) {
+		t.Fatal("cache poisoned: recompute after successful fill")
+		return nil, nil
+	})
+	if err != nil || src != sourceHit || string(d) != "value\n" {
+		t.Fatalf("post-fill answer = (%q, %s, %v), want cached value", d, src, err)
+	}
+}
+
+// TestCoalesceAllWaitersCancelStopsFill checks orphan shutdown: when
+// every waiter abandons the flight, the fill's context is canceled so
+// the computation can stop, and the next request recomputes.
+func TestCoalesceAllWaitersCancelStopsFill(t *testing.T) {
+	var g flightGroup
+	inFill := make(chan struct{})
+	fillCtxDone := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(ctx, "k", func(fctx context.Context) ([]byte, error) {
+			close(inFill)
+			<-fctx.Done() // the fill observes its own cancellation
+			close(fillCtxDone)
+			return nil, fctx.Err()
+		})
+		done <- err
+	}()
+	<-inFill
+	cancel() // sole waiter abandons
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoning waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abandoning waiter blocked")
+	}
+	select {
+	case <-fillCtxDone:
+		// The orphaned fill was told to stop.
+	case <-time.After(2 * time.Second):
+		t.Fatal("fill context never canceled after all waiters left")
+	}
+	g.Wait()
+
+	// The key is free again: a new Do runs a fresh computation.
+	v, err, _ := g.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+		return []byte("fresh"), nil
+	})
+	if err != nil || string(v) != "fresh" {
+		t.Fatalf("post-abandon Do = (%q, %v), want fresh recompute", v, err)
+	}
+}
+
+// TestCoalescePanicSurfacesToAllWaiters checks panic containment in
+// the fill: every waiter gets a structured *PanicError, nothing is
+// cached, and the daemon keeps running.
+func TestCoalescePanicSurfacesToAllWaiters(t *testing.T) {
+	svc := newTestService(t)
+	_, _, err := svc.answer(context.Background(), "pk", func(context.Context) ([]byte, error) {
+		panic("fill exploded")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	svc.WaitFills()
+	// Not cached: the next caller recomputes and succeeds.
+	d, src, err := svc.answer(context.Background(), "pk", func(context.Context) ([]byte, error) {
+		return []byte("ok\n"), nil
+	})
+	if err != nil || src != sourceMiss || string(d) != "ok\n" {
+		t.Fatalf("recovery answer = (%q, %s, %v), want fresh miss", d, src, err)
+	}
+}
+
+func TestTryPublishErrorKeepsOldGeneration(t *testing.T) {
+	svc, _, ts := newGuardedServer(t, GuardConfig{})
+	oldGen := svc.Store().Generation()
+
+	cancel := fault.Arm(fault.Rule{Point: PointStoreSwap, Mode: fault.ModeError, Msg: "disk gone"})
+	st2, err := NewStore(testSeries())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	perr := svc.TryPublish(st2)
+	cancel()
+	if perr == nil {
+		t.Fatal("TryPublish with armed error fault returned nil")
+	}
+	if got := svc.Store().Generation(); got != oldGen {
+		t.Fatalf("generation after failed publish = %d, want %d (unchanged)", got, oldGen)
+	}
+
+	// The daemon degrades to stale rather than going dark.
+	svc.SetDegraded("republish failed: " + perr.Error())
+	resp := get(t, ts, "/v1/topk?window=0&k=3", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded query status = %d, want 200 (stale-but-valid)", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Stale") != "true" {
+		t.Fatal("degraded query response missing X-Stale: true")
+	}
+	var doc healthDoc
+	resp = get(t, ts, "/readyz", &doc)
+	if resp.StatusCode != http.StatusOK || doc.Status != "degraded" {
+		t.Fatalf("readyz while degraded = (%d, %q), want (200, degraded)", resp.StatusCode, doc.Status)
+	}
+	if !strings.Contains(doc.Reason, "disk gone") {
+		t.Fatalf("readyz reason = %q, want the publish failure", doc.Reason)
+	}
+
+	// A successful republish clears the degradation.
+	st3, err := NewStore(testSeries())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if err := svc.TryPublish(st3); err != nil {
+		t.Fatalf("TryPublish (disarmed): %v", err)
+	}
+	if got := svc.Store().Generation(); got != oldGen+1 {
+		t.Fatalf("generation after successful publish = %d, want %d", got, oldGen+1)
+	}
+	resp = get(t, ts, "/readyz", &doc)
+	if resp.StatusCode != http.StatusOK || doc.Status != "serving" {
+		t.Fatalf("readyz after recovery = (%d, %q), want (200, serving)", resp.StatusCode, doc.Status)
+	}
+	resp = get(t, ts, "/v1/topk?window=0&k=3", nil)
+	if resp.Header.Get("X-Stale") != "" {
+		t.Fatal("X-Stale still set after successful republish")
+	}
+}
+
+func TestTryPublishPanicContainedAndCounted(t *testing.T) {
+	svc := newTestService(t)
+	g := NewGuard(GuardConfig{})
+	svc.Guard = g
+	oldGen := svc.Store().Generation()
+
+	cancel := fault.Arm(fault.Rule{Point: PointStoreSwap, Mode: fault.ModePanic, Msg: "swap torn"})
+	defer cancel()
+	st2, err := NewStore(testSeries())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	perr := svc.TryPublish(st2)
+	var pe *PanicError
+	if !errors.As(perr, &pe) || pe.Op != "publish" {
+		t.Fatalf("TryPublish panic err = %v, want *PanicError{Op: publish}", perr)
+	}
+	if got := g.Panics.Value(); got != 1 {
+		t.Fatalf("Panics counter = %d, want 1", got)
+	}
+	if got := svc.Store().Generation(); got != oldGen {
+		t.Fatalf("generation after panicking publish = %d, want %d (unchanged)", got, oldGen)
+	}
+}
+
+func TestTryPublishRejectsNilStore(t *testing.T) {
+	svc := newTestService(t)
+	if err := svc.TryPublish(nil); err == nil {
+		t.Fatal("TryPublish(nil) returned nil error")
+	}
+	if svc.Store() == nil {
+		t.Fatal("nil publish clobbered the live store")
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	// Empty service: healthz ok, readyz loading.
+	empty := NewService(0)
+	mux := http.NewServeMux()
+	empty.MountOps(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	var doc healthDoc
+	resp := get(t, ts, "/healthz", &doc)
+	if resp.StatusCode != http.StatusOK || doc.Status != "ok" {
+		t.Fatalf("healthz = (%d, %q), want (200, ok)", resp.StatusCode, doc.Status)
+	}
+	resp = get(t, ts, "/readyz", &doc)
+	if resp.StatusCode != http.StatusServiceUnavailable || doc.Status != "loading" {
+		t.Fatalf("readyz empty = (%d, %q), want (503, loading)", resp.StatusCode, doc.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("loading readyz missing Retry-After")
+	}
+
+	// Published, guarded service: serving, then draining after
+	// StartDrain — probes stay reachable through the drain (they are
+	// mounted outside the guard).
+	svc, g, ts2 := newGuardedServer(t, GuardConfig{})
+	resp = get(t, ts2, "/readyz", &doc)
+	if resp.StatusCode != http.StatusOK || doc.Status != "serving" {
+		t.Fatalf("readyz published = (%d, %q), want (200, serving)", resp.StatusCode, doc.Status)
+	}
+	if doc.Generation != svc.Store().Generation() || doc.Windows != svc.Store().NumWindows() {
+		t.Fatalf("readyz doc = %+v, want store generation/windows", doc)
+	}
+	g.StartDrain()
+	resp = get(t, ts2, "/readyz", &doc)
+	if resp.StatusCode != http.StatusServiceUnavailable || doc.Status != "draining" {
+		t.Fatalf("readyz draining = (%d, %q), want (503, draining)", resp.StatusCode, doc.Status)
+	}
+	resp = get(t, ts2, "/healthz", &doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200 (liveness is not readiness)", resp.StatusCode)
+	}
+}

@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync/atomic"
+
+	"pmpr/internal/fault"
 )
 
 // Service is the query front-end over an atomically swappable
@@ -22,10 +25,23 @@ type Service struct {
 	cache *Cache
 	group flightGroup
 
+	// degraded holds the reason the service is serving stale data (a
+	// failed republish or re-solve); nil when healthy. While set, every
+	// query response carries an X-Stale header and /readyz reports the
+	// degradation — the service keeps answering from the last published
+	// generation rather than going dark.
+	degraded atomic.Pointer[string]
+
 	// MaxK caps the k accepted by top-k and movers queries, bounding
 	// per-query work and response size. Set before Mount; defaults to
 	// DefaultMaxK.
 	MaxK int
+
+	// Guard, when non-nil, supplies the serving path's robustness
+	// layer: Mount wraps every /v1 handler with its middleware
+	// (deadline, rate limit, drain gate, panic recovery) and answer
+	// acquires its compute limiter on cache misses. Set before Mount.
+	Guard *Guard
 }
 
 // DefaultMaxK is the top-k/movers size cap NewService installs.
@@ -41,10 +57,56 @@ func NewService(cacheEntries int) *Service {
 // the next generation. Queries in flight keep reading the store they
 // started with; new queries see st immediately. Old cache entries are
 // left to age out of the LRU — their keys carry the old generation, so
-// they can never answer a query against st.
+// they can never answer a query against st. Publish itself cannot
+// fail; the guarded path (fault injection, panic containment, degraded
+// bookkeeping) is TryPublish.
 func (s *Service) Publish(st *RankStore) {
 	st.generation = s.gen.Add(1)
 	s.store.Store(st)
+}
+
+// TryPublish is the hardened publish path: the serve.store.swap fault
+// point fires before the swap, a panic anywhere in the swap is
+// contained as a structured *PanicError, and a nil store is rejected —
+// in every failure case the previously published generation keeps
+// serving untouched. A successful TryPublish clears any degraded state
+// (fresh data supersedes a stale generation). Callers that cannot
+// recover a failed publish (no previous generation) treat the error as
+// fatal; callers that can, degrade: SetDegraded and keep serving.
+func (s *Service) TryPublish(st *RankStore) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Op: "publish", Value: v}
+			if g := s.Guard; g != nil {
+				g.Panics.Inc()
+			}
+		}
+	}()
+	if ferr := fault.Inject(PointStoreSwap); ferr != nil {
+		return fmt.Errorf("serve: store swap: %w", ferr)
+	}
+	if st == nil {
+		return errors.New("serve: refusing to publish a nil store")
+	}
+	s.Publish(st)
+	s.ClearDegraded()
+	return nil
+}
+
+// SetDegraded marks the service as serving stale data for the given
+// reason. Queries keep answering from the last published store with an
+// X-Stale header; /readyz reports the degradation.
+func (s *Service) SetDegraded(reason string) { s.degraded.Store(&reason) }
+
+// ClearDegraded returns the service to healthy.
+func (s *Service) ClearDegraded() { s.degraded.Store(nil) }
+
+// Degraded returns the degradation reason and whether one is set.
+func (s *Service) Degraded() (string, bool) {
+	if p := s.degraded.Load(); p != nil {
+		return *p, true
+	}
+	return "", false
 }
 
 // Store returns the currently published store, or nil before the first
@@ -54,10 +116,17 @@ func (s *Service) Store() *RankStore { return s.store.Load() }
 // CacheStats snapshots the response cache counters.
 func (s *Service) CacheStats() CacheStats { return s.cache.Stats() }
 
-// queryError carries the HTTP status a failed query maps to.
+// WaitFills blocks until every in-flight coalesced fill has returned;
+// the drain path calls it after the guard stops admitting new work so
+// process exit does not race a live computation.
+func (s *Service) WaitFills() { s.group.Wait() }
+
+// queryError carries the HTTP status a failed query maps to, plus an
+// optional Retry-After hint for shed/unready responses.
 type queryError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter string
 }
 
 // Error returns the query failure message.
@@ -71,13 +140,22 @@ func notFound(format string, args ...any) error {
 	return &queryError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
 }
 
+// statusClientClosedRequest is the (nginx-convention) status for a
+// request whose client went away before the answer was ready; nothing
+// meaningful can be delivered, but the connection still gets a
+// structured close instead of silence.
+const statusClientClosedRequest = 499
+
 // writeJSONError renders err as {"error": ...} with its mapped status
-// (500 for non-query errors).
+// (500 for non-query errors) and any Retry-After hint it carries.
 func writeJSONError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var qe *queryError
 	if errors.As(err, &qe) {
 		status = qe.status
+		if qe.retryAfter != "" {
+			w.Header().Set("Retry-After", qe.retryAfter)
+		}
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
@@ -97,15 +175,30 @@ const (
 // answer resolves one canonical query: cache first, then a coalesced
 // computation whose successful result is cached for the next caller.
 // The cache-hit path performs no allocation — it is a map lookup and
-// an LRU list splice returning the shared response bytes.
-func (s *Service) answer(key string, compute func() ([]byte, error)) (data []byte, source string, err error) {
+// an LRU list splice returning the shared response bytes — and bypasses
+// the compute limiter entirely, so cached traffic stays fast while an
+// overloaded miss path sheds. ctx bounds only this caller's wait: the
+// fill itself runs detached (see flightGroup.Do), so a canceled caller
+// neither strands coalesced followers nor poisons the cache.
+func (s *Service) answer(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) (data []byte, source string, err error) {
 	if b, ok := s.cache.Get(key); ok {
 		return b, sourceHit, nil
 	}
-	b, err, shared := s.group.Do(key, func() ([]byte, error) {
-		b, err := compute()
+	release, err := s.Guard.acquireCompute(ctx)
+	if err != nil {
+		return nil, "", err
+	}
+	defer release()
+	b, err, shared := s.group.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
+		if ferr := fault.Inject(PointCoalesceLeader); ferr != nil {
+			return nil, fmt.Errorf("serve: coalesced fill: %w", ferr)
+		}
+		b, err := compute(fctx)
 		if err != nil {
 			return nil, err
+		}
+		if ferr := fault.Inject(PointCacheFill); ferr != nil {
+			return nil, fmt.Errorf("serve: cache fill: %w", ferr)
 		}
 		s.cache.Put(key, b)
 		return b, nil
@@ -120,17 +213,56 @@ func (s *Service) answer(key string, compute func() ([]byte, error)) (data []byt
 	return b, source, nil
 }
 
+// mapQueryError converts transport-layer failures into their HTTP
+// shape and counts them: a missed deadline is 504 (Gateway Timeout), a
+// client that went away is 499, a contained panic is a 500 that bumps
+// the panic counter. Query errors (400/404/...) pass through.
+func (s *Service) mapQueryError(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		if g := s.Guard; g != nil {
+			g.Timeouts.Inc()
+		}
+		return &queryError{status: http.StatusGatewayTimeout, msg: "request deadline exceeded"}
+	case errors.Is(err, context.Canceled):
+		return &queryError{status: statusClientClosedRequest, msg: "client closed request"}
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		if g := s.Guard; g != nil {
+			g.Panics.Inc()
+		}
+	}
+	return err
+}
+
 // serveQuery runs the cache/coalesce/compute pipeline for a request
-// and writes the JSON answer with its X-Cache provenance.
-func (s *Service) serveQuery(w http.ResponseWriter, key string, compute func() ([]byte, error)) {
-	data, source, err := s.answer(key, compute)
+// and writes the JSON answer with its X-Cache provenance (and an
+// X-Stale marker while the service is degraded).
+func (s *Service) serveQuery(w http.ResponseWriter, r *http.Request, key string, compute func(context.Context) ([]byte, error)) {
+	data, source, err := s.answer(r.Context(), key, compute)
 	if err != nil {
-		writeJSONError(w, err)
+		writeJSONError(w, s.mapQueryError(err))
 		return
 	}
 	h := w.Header()
 	h.Set("Content-Type", "application/json; charset=utf-8")
 	h.Set("X-Cache", source)
+	if _, degraded := s.Degraded(); degraded {
+		h.Set("X-Stale", "true")
+	}
+	if ferr := fault.Inject(PointResponseWrite); ferr != nil {
+		writeJSONError(w, fmt.Errorf("serve: response write: %w", ferr))
+		return
+	}
+	// The write seam re-checks the deadline: a response that became
+	// ready only after the request's deadline (a stalled write path, the
+	// delay fault above) answers 504 instead of a late 200 the client
+	// has already given up on.
+	if cerr := r.Context().Err(); cerr != nil {
+		writeJSONError(w, s.mapQueryError(cerr))
+		return
+	}
 	w.Write(data)
 }
 
@@ -140,9 +272,8 @@ func (s *Service) serveQuery(w http.ResponseWriter, key string, compute func() (
 func (s *Service) loadStore(w http.ResponseWriter) (*RankStore, bool) {
 	st := s.store.Load()
 	if st == nil {
-		w.Header().Set("Retry-After", "1")
 		writeJSONError(w, &queryError{status: http.StatusServiceUnavailable,
-			msg: "store not ready (still solving or loading)"})
+			msg: "store not ready (still solving or loading)", retryAfter: "1"})
 		return nil, false
 	}
 	return st, true
@@ -235,7 +366,7 @@ func (s *Service) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := canonicalKey(st.generation, "topk", win, k)
-	s.serveQuery(w, key, func() ([]byte, error) {
+	s.serveQuery(w, r, key, func(context.Context) ([]byte, error) {
 		ranks, err := st.TopK(win, k)
 		if err != nil {
 			return nil, err
@@ -275,7 +406,7 @@ func (s *Service) handleTrajectory(w http.ResponseWriter, r *http.Request) {
 	}
 	v := int32(id)
 	key := canonicalKey(st.generation, "traj", int(v))
-	s.serveQuery(w, key, func() ([]byte, error) {
+	s.serveQuery(w, r, key, func(context.Context) ([]byte, error) {
 		ranks, err := st.Trajectory(v)
 		if err != nil {
 			return nil, err
@@ -325,7 +456,7 @@ func (s *Service) handleMovers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := canonicalKey(st.generation, "movers", from, to, k)
-	s.serveQuery(w, key, func() ([]byte, error) {
+	s.serveQuery(w, r, key, func(context.Context) ([]byte, error) {
 		movers, err := st.Movers(from, to, k)
 		if err != nil {
 			return nil, err
@@ -341,6 +472,7 @@ type windowsResponse struct {
 	Spec        specJSON     `json:"spec"`
 	NumVertices int32        `json:"num_vertices"`
 	Generation  uint64       `json:"generation"`
+	Degraded    string       `json:"degraded,omitempty"`
 	Windows     []WindowInfo `json:"windows"`
 	Cache       CacheStats   `json:"cache"`
 }
@@ -359,18 +491,26 @@ func (s *Service) handleWindows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec := st.Spec()
-	b, err := marshalBody(windowsResponse{
+	doc := windowsResponse{
 		Spec:        specJSON{T0: spec.T0, Delta: spec.Delta, Slide: spec.Slide, Count: spec.Count},
 		NumVertices: st.NumVertices(),
 		Generation:  st.generation,
 		Windows:     st.WindowInfos(),
 		Cache:       s.cache.Stats(),
-	})
+	}
+	if reason, degraded := s.Degraded(); degraded {
+		doc.Degraded = reason
+	}
+	b, err := marshalBody(doc)
 	if err != nil {
 		writeJSONError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	if doc.Degraded != "" {
+		h.Set("X-Stale", "true")
+	}
 	w.Write(b)
 }
 
@@ -385,10 +525,17 @@ func marshalBody(v any) ([]byte, error) {
 
 // Mount registers the /v1 query endpoints on mux — typically the obs
 // mux, next to /metrics, /status, and /events, so one daemon address
-// serves scrapes, live progress, and rank queries.
+// serves scrapes, live progress, and rank queries. When s.Guard is
+// set, every handler is wrapped in its middleware stack.
 func (s *Service) Mount(mux *http.ServeMux) {
-	mux.HandleFunc("GET /v1/topk", s.handleTopK)
-	mux.HandleFunc("GET /v1/vertex/{id}/trajectory", s.handleTrajectory)
-	mux.HandleFunc("GET /v1/movers", s.handleMovers)
-	mux.HandleFunc("GET /v1/windows", s.handleWindows)
+	wrap := func(h http.HandlerFunc) http.Handler {
+		if s.Guard != nil {
+			return s.Guard.Wrap(h)
+		}
+		return h
+	}
+	mux.Handle("GET /v1/topk", wrap(s.handleTopK))
+	mux.Handle("GET /v1/vertex/{id}/trajectory", wrap(s.handleTrajectory))
+	mux.Handle("GET /v1/movers", wrap(s.handleMovers))
+	mux.Handle("GET /v1/windows", wrap(s.handleWindows))
 }

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// healthDoc is the JSON body of /healthz and /readyz.
+type healthDoc struct {
+	// Status is "ok" (healthz), or one of "serving", "degraded",
+	// "loading", "draining" (readyz).
+	Status string `json:"status"`
+	// Reason carries the degradation reason when Status is "degraded".
+	Reason string `json:"reason,omitempty"`
+	// Generation and Windows describe the published store when one
+	// exists.
+	Generation uint64 `json:"generation,omitempty"`
+	Windows    int    `json:"windows,omitempty"`
+}
+
+// writeHealth renders doc with the given status code.
+func writeHealth(w http.ResponseWriter, code int, doc healthDoc) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	b, _ := json.Marshal(doc)
+	w.Write(append(b, '\n'))
+}
+
+// handleHealthz is liveness: the process is up and the handler ran.
+// It never depends on store state — a degraded or still-loading daemon
+// is alive and must not be restarted by an orchestrator for it.
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeHealth(w, http.StatusOK, healthDoc{Status: "ok"})
+}
+
+// handleReadyz is readiness: whether this daemon should receive query
+// traffic right now.
+//
+//	503 draining   StartDrain was called; the process is exiting
+//	503 loading    no store published yet (still solving or loading)
+//	200 degraded   serving the last good generation after a failed
+//	               republish/re-solve — stale but answering, so load
+//	               balancers keep routing rather than taking the only
+//	               copy of the data out of rotation
+//	200 serving    healthy
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if g := s.Guard; g != nil && g.Draining() {
+		w.Header().Set("Retry-After", g.RetryAfterSeconds())
+		writeHealth(w, http.StatusServiceUnavailable, healthDoc{Status: "draining"})
+		return
+	}
+	st := s.Store()
+	reason, degraded := s.Degraded()
+	if st == nil {
+		doc := healthDoc{Status: "loading"}
+		if degraded {
+			doc.Reason = reason
+		}
+		w.Header().Set("Retry-After", "1")
+		writeHealth(w, http.StatusServiceUnavailable, doc)
+		return
+	}
+	doc := healthDoc{Status: "serving", Generation: st.Generation(), Windows: st.NumWindows()}
+	if degraded {
+		doc.Status = "degraded"
+		doc.Reason = reason
+	}
+	writeHealth(w, http.StatusOK, doc)
+}
+
+// MountOps registers the operational endpoints (/healthz, /readyz) on
+// mux. They are deliberately outside the guard: probes must not be
+// shed, rate-limited, or deadline-bounded — an overloaded daemon that
+// fails its liveness probe gets restarted, which is how overload turns
+// into an outage.
+func (s *Service) MountOps(mux *http.ServeMux) {
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+}

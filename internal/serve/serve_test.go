@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -365,10 +366,11 @@ func TestCacheLRU(t *testing.T) {
 
 func TestFlightGroupCoalesces(t *testing.T) {
 	var g flightGroup
+	ctx := context.Background()
 	var calls atomic.Int32
 	release := make(chan struct{})
 	started := make(chan struct{})
-	leaderFn := func() ([]byte, error) {
+	leaderFn := func(context.Context) ([]byte, error) {
 		close(started)
 		<-release
 		calls.Add(1)
@@ -378,7 +380,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if v, err, shared := g.Do("k", leaderFn); err != nil || shared || string(v) != "answer" {
+		if v, err, shared := g.Do(ctx, "k", leaderFn); err != nil || shared || string(v) != "answer" {
 			t.Errorf("leader Do = %q, %v, shared=%v", v, err, shared)
 		}
 	}()
@@ -389,7 +391,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err, shared := g.Do("k", func() ([]byte, error) {
+			v, err, shared := g.Do(ctx, "k", func(context.Context) ([]byte, error) {
 				calls.Add(1)
 				return []byte("answer"), nil
 			})
@@ -454,19 +456,20 @@ func TestConcurrentIdenticalQueries(t *testing.T) {
 func TestAnswerHitPathDoesNotAllocate(t *testing.T) {
 	svc := newTestService(t)
 	st := svc.Store()
+	ctx := context.Background()
 	key := canonicalKey(st.Generation(), "topk", 1, 3)
-	compute := func() ([]byte, error) {
+	compute := func(context.Context) ([]byte, error) {
 		ranks, err := st.TopK(1, 3)
 		if err != nil {
 			return nil, err
 		}
 		return marshalBody(topkResponse{Window: 1, K: 3, Ranks: ranks})
 	}
-	if _, source, err := svc.answer(key, compute); err != nil || source != sourceMiss {
+	if _, source, err := svc.answer(ctx, key, compute); err != nil || source != sourceMiss {
 		t.Fatalf("prime: %v, %v", source, err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		b, source, err := svc.answer(key, compute)
+		b, source, err := svc.answer(ctx, key, compute)
 		if err != nil || source != sourceHit || len(b) == 0 {
 			t.Fatalf("hit path: %q, %v", source, err)
 		}
